@@ -1,0 +1,264 @@
+// Command bristle-sim regenerates the tables and figures of the Bristle
+// paper's evaluation (Hsiao & King, IPDPS 2003).
+//
+// Usage:
+//
+//	bristle-sim [flags] <experiment>
+//
+// Experiments: fig3, fig7, fig8, fig9, table1, all.
+//
+// Flags:
+//
+//	-scale laptop|paper   parameter scale (default laptop)
+//	-seed N               base random seed
+//	-csv                  emit CSV instead of aligned tables
+//
+// Every run is deterministic for a fixed seed and scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bristle/internal/experiments"
+	"bristle/internal/metrics"
+)
+
+func main() {
+	scale := flag.String("scale", "laptop", "parameter scale: laptop or paper")
+	seed := flag.Int64("seed", 1, "base random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	substrate := flag.String("substrate", "ring", "overlay substrate for fig7: ring or chord")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	paper := false
+	switch *scale {
+	case "laptop":
+	case "paper":
+		paper = true
+	default:
+		fmt.Fprintf(os.Stderr, "bristle-sim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	which := flag.Arg(0)
+	run := func(name string) bool { return which == name || which == "all" }
+	ran := false
+	start := time.Now()
+
+	if run("table1") {
+		ran = true
+		cfg := experiments.DefaultTable1()
+		cfg.Seed = *seed
+		if paper {
+			cfg.Stationary, cfg.Mobile, cfg.Sessions, cfg.Routers = 2000, 1000, 2000, 2600
+		}
+		rows, err := experiments.RunTable1(cfg)
+		exitOn(err)
+		emit(experiments.RenderTable1(rows), table1CSV(rows), *csv)
+	}
+	if run("fig3") {
+		ran = true
+		cfg := experiments.DefaultFig3()
+		cfg.Seed = *seed
+		if paper {
+			cfg.EmpiricalN, cfg.Routers = 4096, 1200
+		}
+		rows, err := experiments.RunFig3(cfg)
+		exitOn(err)
+		emit(experiments.RenderFig3(rows), fig3CSV(rows), *csv)
+	}
+	if run("fig7") {
+		ran = true
+		cfg := experiments.DefaultFig7()
+		cfg.Seed = *seed
+		if paper {
+			cfg = experiments.PaperFig7()
+			cfg.Seed = *seed
+		}
+		cfg.Substrate = *substrate
+		rows, err := experiments.RunFig7(cfg)
+		exitOn(err)
+		emit(experiments.RenderFig7(rows), fig7CSV(rows), *csv)
+	}
+	if run("fig8") {
+		ran = true
+		cfg := experiments.DefaultFig8()
+		cfg.Seed = *seed
+		if paper {
+			cfg = experiments.PaperFig8()
+			cfg.Seed = *seed
+		}
+		res, err := experiments.RunFig8(cfg)
+		exitOn(err)
+		emit(experiments.RenderFig8(res), fig8CSV(res), *csv)
+	}
+	if run("datachurn") {
+		ran = true
+		cfg := experiments.DefaultDataChurn()
+		cfg.Seed = *seed
+		if paper {
+			cfg.Stationary, cfg.Mobile, cfg.Items, cfg.Routers = 1000, 600, 2000, 2600
+		}
+		rows, err := experiments.RunDataChurn(cfg)
+		exitOn(err)
+		emit(experiments.RenderDataChurn(rows), dataChurnCSV(rows), *csv)
+	}
+	if run("scaling") {
+		ran = true
+		cfg := experiments.DefaultScaling()
+		cfg.Seed = *seed
+		if paper {
+			cfg.Sizes = append(cfg.Sizes, 8192, 16384)
+		}
+		rows, err := experiments.RunScaling(cfg)
+		exitOn(err)
+		emit(experiments.RenderScaling(rows), scalingCSV(rows), *csv)
+	}
+	if run("eq1") {
+		ran = true
+		cfg := experiments.DefaultEq1()
+		cfg.Seed = *seed
+		if paper {
+			cfg.Stationary, cfg.Routes, cfg.Routers = 2000, 10000, 2600
+		}
+		rows, err := experiments.RunEq1(cfg)
+		exitOn(err)
+		emit(experiments.RenderEq1(rows), eq1CSV(rows), *csv)
+	}
+	if run("fig9") {
+		ran = true
+		cfg := experiments.DefaultFig9()
+		cfg.Seed = *seed
+		if paper {
+			cfg = experiments.PaperFig9()
+			cfg.Seed = *seed
+		}
+		rows, err := experiments.RunFig9(cfg)
+		exitOn(err)
+		emit(experiments.RenderFig9(rows), fig9CSV(rows), *csv)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "bristle-sim: unknown experiment %q\n", which)
+		usage()
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `bristle-sim regenerates the Bristle paper's evaluation.
+
+usage: bristle-sim [flags] <experiment>
+
+experiments:
+  table1   Type A / Type B / Bristle design comparison (measured)
+  fig3     LDT responsibility: member-only vs non-member-only
+  fig7     routing hops & RDP: scrambled vs clustered naming
+  fig8     LDT adaptation to workload and heterogeneity
+  fig9     LDT edge cost with vs without network locality
+  eq1      Equation (1) validation: routing disciplines under clustered naming
+  scaling  O(log N) hops/state validation across both substrates
+  datachurn  stored-data availability & repair traffic under movement (§1)
+  all      everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bristle-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func emit(table, csv string, wantCSV bool) {
+	if wantCSV {
+		fmt.Print(csv)
+	} else {
+		fmt.Println(table)
+	}
+}
+
+func table1CSV(rows []experiments.Table1Row) string {
+	t := metrics.NewTable("design", "infrastructure", "delivery_pct", "delivery_after_fail_pct",
+		"cost_penalty", "maint_per_move", "end_to_end")
+	for _, r := range rows {
+		t.AddRow(r.Design, r.Infrastructure, r.DeliveryPct, r.DeliveryAfterFailPct,
+			r.CostPenalty, r.MaintPerMove, r.EndToEnd)
+	}
+	return t.CSV()
+}
+
+func fig3CSV(rows []experiments.Fig3Row) string {
+	t := metrics.NewTable("mobile_frac", "analytic_member", "analytic_nonmember",
+		"empirical_member", "empirical_nonmember")
+	for _, r := range rows {
+		t.AddRow(r.MobileFrac, r.AnalyticMemberOnly, r.AnalyticNonMemberOnly,
+			r.EmpiricalMemberOnly, r.EmpiricalNonMemberOnly)
+	}
+	return t.CSV()
+}
+
+func fig7CSV(rows []experiments.Fig7Row) string {
+	t := metrics.NewTable("mobile_frac", "scrambled_hops", "clustered_hops",
+		"scrambled_cost", "clustered_cost", "rdp_hops", "rdp_cost")
+	for _, r := range rows {
+		t.AddRow(r.MobileFrac, r.ScrambledHops, r.ClusteredHops,
+			r.ScrambledCost, r.ClusteredCost, r.RDPHops, r.RDPCost)
+	}
+	return t.CSV()
+}
+
+func fig8CSV(res *experiments.Fig8Result) string {
+	t := metrics.NewTable("max_capacity", "mean_depth", "max_depth")
+	for _, r := range res.Levels {
+		t.AddRow(r.MaxCapacity, r.MeanDepth, r.MaxDepth)
+	}
+	u := metrics.NewTable("tree", "node_rank", "capacity", "assigned", "is_root")
+	for _, n := range res.Nodes {
+		u.AddRow(n.Tree+1, n.NodeRank, n.Capacity, n.Assigned, n.IsRoot)
+	}
+	return t.CSV() + u.CSV()
+}
+
+func dataChurnCSV(rows []experiments.DataChurnRow) string {
+	t := metrics.NewTable("design", "availability_pct", "transfers_per_move", "repaired_pct")
+	for _, r := range rows {
+		t.AddRow(r.Design, r.AvailabilityPct, r.TransfersPerMove, r.RepairedPct)
+	}
+	return t.CSV()
+}
+
+func scalingCSV(rows []experiments.ScalingRow) string {
+	t := metrics.NewTable("substrate", "n", "mean_hops", "p99_hops", "hops_per_log", "mean_state", "max_state")
+	for _, r := range rows {
+		t.AddRow(r.Substrate, r.N, r.MeanHops, r.P99Hops, r.HopsPerLog, r.MeanState, r.MaxState)
+	}
+	return t.CSV()
+}
+
+func eq1CSV(rows []experiments.Eq1Row) string {
+	t := metrics.NewTable("mobile_frac", "shorter_arc", "uni_prefer", "uni_unopt", "uni_prefer_hops")
+	for _, r := range rows {
+		t.AddRow(r.MobileFrac, r.ShorterArc, r.UniPreferring, r.UniUnoptimized, r.UniPreferringHops)
+	}
+	return t.CSV()
+}
+
+func fig9CSV(rows []experiments.Fig9Row) string {
+	t := metrics.NewTable("density", "nodes", "with_locality", "without_locality", "improvement")
+	for _, r := range rows {
+		t.AddRow(r.Frac, r.Nodes, r.WithLocality, r.WithoutLocality, r.LocalityImprovement)
+	}
+	return t.CSV()
+}

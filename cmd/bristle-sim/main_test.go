@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bristle/internal/experiments"
+)
+
+func TestTable1CSV(t *testing.T) {
+	rows := []experiments.Table1Row{
+		{Design: "Bristle", Infrastructure: "IP", DeliveryPct: 100, DeliveryAfterFailPct: 99,
+			CostPenalty: 1.0, MaintPerMove: 20, EndToEnd: true},
+	}
+	out := table1CSV(rows)
+	if !strings.HasPrefix(out, "design,infrastructure,") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "Bristle,IP,100,99,1,20,true") {
+		t.Fatalf("row malformed: %q", out)
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	rows := []experiments.Fig7Row{{MobileFrac: 0.5, ScrambledHops: 6.5, ClusteredHops: 4,
+		ScrambledCost: 160, ClusteredCost: 100, RDPHops: 1.625, RDPCost: 1.6}}
+	out := fig7CSV(rows)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "0.500,6.500,4,160,100,1.625,1.600") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	rows := []experiments.Fig3Row{{MobileFrac: 0.1, AnalyticMemberOnly: 2.2,
+		AnalyticNonMemberOnly: 44.4, EmpiricalMemberOnly: 1, EmpiricalNonMemberOnly: 3}}
+	if out := fig3CSV(rows); !strings.Contains(out, "0.100,2.200,44.400,1,3") {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	res := &experiments.Fig8Result{
+		Levels: []experiments.Fig8LevelRow{{MaxCapacity: 3, MeanDepth: 4.3, MaxDepth: 6}},
+		Nodes:  []experiments.Fig8NodeRow{{Tree: 0, NodeRank: 1, Capacity: 15, Assigned: 5, IsRoot: true}},
+	}
+	out := fig8CSV(res)
+	if !strings.Contains(out, "3,4.300,6") || !strings.Contains(out, "1,1,15,5,true") {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestFig9CSV(t *testing.T) {
+	rows := []experiments.Fig9Row{{Frac: 0.5, Nodes: 1000, WithLocality: 11.7,
+		WithoutLocality: 32, LocalityImprovement: 2.7}}
+	if out := fig9CSV(rows); !strings.Contains(out, "0.500,1000,11.700,32,2.700") {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestEq1CSV(t *testing.T) {
+	rows := []experiments.Eq1Row{{MobileFrac: 0.5, ShorterArc: 0, UniPreferring: 0.05,
+		UniUnoptimized: 0.06, UniPreferringHops: 4.2}}
+	if out := eq1CSV(rows); !strings.Contains(out, "0.500,0,0.050,0.060,4.200") {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestScalingCSV(t *testing.T) {
+	rows := []experiments.ScalingRow{{Substrate: "ring", N: 1024, MeanHops: 5,
+		P99Hops: 9, MeanState: 22.7, MaxState: 27, HopsPerLog: 0.5}}
+	if out := scalingCSV(rows); !strings.Contains(out, "ring,1024,5,9,0.500,22.700,27") {
+		t.Fatalf("csv = %q", out)
+	}
+}

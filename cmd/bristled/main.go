@@ -1,0 +1,139 @@
+// Command bristled runs a live Bristle node over TCP: a stationary
+// location server, or a mobile node that can re-bind to new ports and
+// push location updates to registered watchers.
+//
+// Start a stationary bootstrap:
+//
+//	bristled -name alpha -listen 127.0.0.1:7001
+//
+// Join more stationary nodes:
+//
+//	bristled -name beta -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//
+// Run a mobile node that re-binds every 10 seconds (demonstrating
+// publish + LDT updates over real sockets):
+//
+//	bristled -name roamer -mobile -rebind 10s -join 127.0.0.1:7001
+//
+// Watch a key and print proactive updates as they arrive:
+//
+//	bristled -name watcher -join 127.0.0.1:7001 -watch roamer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/live"
+	"bristle/internal/transport"
+)
+
+func main() {
+	name := flag.String("name", "", "stable node name (hashed into the node key)")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	join := flag.String("join", "", "bootstrap node address to join via")
+	mobile := flag.Bool("mobile", false, "run as a mobile node")
+	capacity := flag.Float64("capacity", 4, "advertised capacity (LDT scheduling)")
+	lease := flag.Duration("lease", 30*time.Second, "location lease TTL (0 = forever)")
+	rebind := flag.Duration("rebind", 0, "mobile: re-bind to a new port at this interval")
+	watch := flag.String("watch", "", "register interest in this node name and print its updates")
+	gossip := flag.Duration("gossip", 2*time.Second, "anti-entropy gossip interval")
+	verbose := flag.Bool("v", false, "verbose protocol logging")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "bristled: -name is required")
+		os.Exit(2)
+	}
+
+	cfg := live.Config{
+		Name:     *name,
+		Capacity: *capacity,
+		Mobile:   *mobile,
+		LeaseTTL: *lease,
+	}
+	if *verbose {
+		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+	}
+	node := live.NewNode(cfg, &transport.TCP{})
+	if err := node.Start(*listen); err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+	fmt.Printf("node %s key=%v listening on %s\n", *name, node.Key(), node.Addr())
+
+	if *join != "" {
+		if err := node.JoinVia(*join); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("joined via %s; %d peers known\n", *join, len(node.KnownPeers()))
+	}
+	if err := node.Publish(); err != nil {
+		fmt.Fprintf(os.Stderr, "bristled: initial publish: %v\n", err)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	// Gossip and lease renewal run as library maintenance loops.
+	stopMaint := node.StartMaintenance(live.MaintainConfig{
+		GossipInterval: *gossip,
+		Rand:           rand.New(rand.NewSource(time.Now().UnixNano())),
+	})
+	defer stopMaint()
+
+	var rebindTick <-chan time.Time
+	if *mobile && *rebind > 0 {
+		t := time.NewTicker(*rebind)
+		defer t.Stop()
+		rebindTick = t.C
+	}
+
+	if *watch != "" {
+		go watchLoop(node, *watch)
+	}
+
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return
+		case <-rebindTick:
+			if err := node.Rebind("127.0.0.1:0"); err != nil {
+				fmt.Fprintf(os.Stderr, "rebind: %v\n", err)
+				continue
+			}
+			fmt.Printf("moved to %s (published + LDT update pushed)\n", node.Addr())
+		case up := <-node.Updates():
+			fmt.Printf("update: %v is now at %s\n", up.Key, up.Addr)
+		}
+	}
+}
+
+// watchLoop resolves the watched node and registers interest, retrying
+// until it succeeds (the watched node may join later).
+func watchLoop(node *live.Node, watched string) {
+	key := hashkey.FromName(watched)
+	for {
+		addr, err := node.Discover(key)
+		if err == nil {
+			if err := node.RegisterWith(addr); err == nil {
+				fmt.Printf("watching %s (key %v) at %s\n", watched, key, addr)
+				return
+			}
+		}
+		time.Sleep(2 * time.Second)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bristled: %v\n", err)
+	os.Exit(1)
+}

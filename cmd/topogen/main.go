@@ -1,0 +1,102 @@
+// Command topogen generates GT-ITM-style transit-stub topologies and
+// prints summary statistics or an edge list — the underlay model the
+// Bristle evaluation runs on.
+//
+// Usage:
+//
+//	topogen [-n routers] [-seed N] [-edges] [-domains T,Tn,S,Sn]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"bristle/internal/metrics"
+	"bristle/internal/topology"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "approximate number of routers")
+	seed := flag.Int64("seed", 1, "random seed")
+	edges := flag.Bool("edges", false, "print the full edge list instead of a summary")
+	domains := flag.String("domains", "", "explicit T,Tn,S,Sn domain spec (overrides -n)")
+	load := flag.String("load", "", "load a topology edge-list file instead of generating")
+	flag.Parse()
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		g, err := topology.ParseEdgeList(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+		summarize(g, *edges)
+		return
+	}
+
+	params := topology.DefaultTransitStub(*n)
+	if *domains != "" {
+		parts := strings.Split(*domains, ",")
+		if len(parts) != 4 {
+			fmt.Fprintln(os.Stderr, "topogen: -domains wants T,Tn,S,Sn")
+			os.Exit(2)
+		}
+		vals := make([]int, 4)
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "topogen: bad -domains value %q\n", p)
+				os.Exit(2)
+			}
+			vals[i] = v
+		}
+		params.TransitDomains = vals[0]
+		params.TransitPerDomain = vals[1]
+		params.StubsPerTransit = vals[2]
+		params.StubPerDomain = vals[3]
+	}
+
+	g, err := topology.GenerateTransitStub(params, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+
+	summarize(g, *edges)
+}
+
+func summarize(g *topology.Graph, edges bool) {
+	if edges {
+		if err := topology.WriteEdgeList(os.Stdout, g); err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	t := metrics.NewTable("metric", "value")
+	t.AddRow("routers", g.NumRouters())
+	t.AddRow("edges", g.NumEdges())
+	t.AddRow("transit routers", len(g.TransitRouters()))
+	t.AddRow("stub routers", len(g.StubRouters()))
+	t.AddRow("connected", g.Connected())
+
+	// Sample eccentricity-ish stats from router 0.
+	dist := topology.Dijkstra(g, 0)
+	var s metrics.Sample
+	for _, d := range dist {
+		s.Add(d)
+	}
+	t.AddRow("mean dist from r0", s.Mean())
+	t.AddRow("max dist from r0", s.Max())
+	fmt.Print(t.String())
+}

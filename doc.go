@@ -1,0 +1,28 @@
+// Package bristle is a reproduction of "Bristle: A Mobile Structured
+// Peer-to-Peer Architecture" (Hung-Chang Hsiao and Chung-Ta King,
+// IPDPS 2003): a hash-based structured P2P overlay in which nodes may
+// change their network attachment points without invalidating the
+// distributed state that names them.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — Bristle itself: the stationary and mobile layers,
+//     state-pairs with leases, _route/_discovery, register/update,
+//     join/leave, and the scrambled vs clustered naming schemes.
+//   - internal/overlay — the structured-overlay substrate (Tornado's
+//     role): monotone greedy ring routing with leaf sets, proximity-
+//     selected fingers, and churn repair.
+//   - internal/ldt — capacity-aware location dissemination trees
+//     (Figure 4), with locality-aware partitioning.
+//   - internal/topology, internal/simnet — the GT-ITM-style transit-stub
+//     underlay and the discrete-event/message-cost simulator.
+//   - internal/baseline — the Type A (leave+rejoin) and Type B
+//     (Mobile IP) comparison designs of Table 1.
+//   - internal/experiments — one driver per table/figure of the paper's
+//     evaluation.
+//   - internal/wire, internal/transport, internal/live — a deployable
+//     implementation of the location-management protocol over TCP.
+//
+// The root-level benchmarks (bench_test.go) regenerate each experiment;
+// cmd/bristle-sim prints the paper-style tables.
+package bristle

@@ -1,0 +1,3 @@
+module bristle
+
+go 1.22

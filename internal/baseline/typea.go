@@ -1,0 +1,164 @@
+// Package baseline implements the two comparison designs of the paper's
+// Table 1:
+//
+//   - Type A: an HS-P2P over plain IP where a moving node is treated as
+//     leaving and re-joining as a brand-new peer at its new location. Its
+//     key changes (node keys hash the network endpoint), so every
+//     state-pair and data placement referencing the old identity goes
+//     stale until leases expire — end-to-end semantics are lost.
+//   - Type B: an HS-P2P deployed over a Mobile IP infrastructure: home
+//     agents hide movement from the overlay but impose triangular routes
+//     and introduce critical points of failure.
+//
+// Both run over the same simnet underlay as Bristle so that Table 1 can be
+// re-derived quantitatively.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+)
+
+// TypeA models the leave-and-rejoin design over plain IP.
+type TypeA struct {
+	Net  *simnet.Network
+	Ring *overlay.Ring
+
+	peers []*APeer
+	rng   *rand.Rand
+
+	// Stats accumulates maintenance traffic.
+	Stats TypeAStats
+}
+
+// TypeAStats counts Type A maintenance activity.
+type TypeAStats struct {
+	Moves               uint64
+	MaintenanceMessages uint64 // leave + rejoin state transfer messages
+	MaintenanceCost     float64
+}
+
+// APeer is one Type A participant. Identity (key) is bound to the current
+// network endpoint, as in systems that derive node IDs from addresses.
+type APeer struct {
+	Index  int // stable index into the peer table
+	Key    hashkey.Key
+	Host   simnet.HostID
+	NodeID overlay.NodeID
+	Mobile bool
+	// Epoch increments on every move; sessions opened against an older
+	// epoch have lost their peer (broken end-to-end semantics).
+	Epoch int
+}
+
+// NewTypeA creates an empty Type A overlay over net, using rng for
+// movement targets.
+func NewTypeA(cfg overlay.Config, net *simnet.Network, rng *rand.Rand) *TypeA {
+	return &TypeA{Net: net, Ring: overlay.NewRing(cfg, net), rng: rng}
+}
+
+// AddPeer joins a peer whose key is derived from its current endpoint.
+func (a *TypeA) AddPeer(host simnet.HostID, mobile bool) (*APeer, error) {
+	key := endpointKey(host, 0)
+	id, err := a.Ring.AddNode(key, host)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: type A join: %w", err)
+	}
+	p := &APeer{Index: len(a.peers), Key: key, Host: host, NodeID: id, Mobile: mobile}
+	a.peers = append(a.peers, p)
+	return p, nil
+}
+
+// Peers returns all peers (including identities that have re-joined).
+func (a *TypeA) Peers() []*APeer { return a.peers }
+
+// endpointKey hashes a host endpoint (plus move epoch, standing in for the
+// new IP address) into a node key.
+func endpointKey(host simnet.HostID, epoch int) hashkey.Key {
+	return hashkey.FromName(fmt.Sprintf("typea-host-%d-epoch-%d", host, epoch))
+}
+
+// Move relocates a mobile peer: leave with the old identity, re-join with
+// a fresh key bound to the new attachment point. The old key — and any
+// data or sessions addressed to it — is orphaned. Maintenance traffic is
+// the 2·O(log N) join/leave message footprint of Figure 5 plus the
+// republication of nothing (Type A has no location layer).
+func (a *TypeA) Move(p *APeer) error {
+	if !p.Mobile {
+		return fmt.Errorf("baseline: peer %d is stationary", p.Index)
+	}
+	node := a.Ring.Node(p.NodeID)
+	if node == nil {
+		return fmt.Errorf("baseline: peer %d not on ring", p.Index)
+	}
+	// Leave: neighbors notice via state expiry; one message per neighbor
+	// for the graceful case.
+	neighbors := node.Neighbors()
+	a.Stats.MaintenanceMessages += uint64(len(neighbors))
+	for _, ref := range neighbors {
+		nb := a.Ring.Node(ref.ID)
+		if nb != nil {
+			a.Stats.MaintenanceCost += a.Net.Cost(p.Host, nb.Host)
+		}
+	}
+	if err := a.Ring.RemoveNode(p.NodeID); err != nil {
+		return err
+	}
+
+	// Re-attach and re-join under a new identity.
+	a.Net.MoveRandom(p.Host, a.rng)
+	p.Epoch++
+	p.Key = endpointKey(p.Host, p.Epoch)
+	id, err := a.Ring.AddNode(p.Key, p.Host)
+	if err != nil {
+		return err
+	}
+	p.NodeID = id
+
+	// Join traffic: the newcomer exchanges state with its new neighbors.
+	newNode := a.Ring.Node(id)
+	joinNbrs := newNode.Neighbors()
+	a.Stats.MaintenanceMessages += 2 * uint64(len(joinNbrs))
+	for _, ref := range joinNbrs {
+		nb := a.Ring.Node(ref.ID)
+		if nb != nil {
+			a.Stats.MaintenanceCost += 2 * a.Net.Cost(p.Host, nb.Host)
+		}
+	}
+	a.Stats.Moves++
+	return nil
+}
+
+// SendToIdentity attempts to deliver a message addressed to the identity
+// (key, epoch) the sender captured earlier. If the target has moved since,
+// the identity is gone and delivery fails — Type A's broken end-to-end
+// semantics. On success the route cost over the overlay is returned.
+func (a *TypeA) SendToIdentity(src *APeer, dstIndex, epoch int) (cost float64, hops int, ok bool, err error) {
+	if dstIndex < 0 || dstIndex >= len(a.peers) {
+		return 0, 0, false, fmt.Errorf("baseline: unknown peer index %d", dstIndex)
+	}
+	dst := a.peers[dstIndex]
+	// The message is addressed to the key of the captured epoch.
+	key := endpointKey(dst.Host, epoch)
+	res, rerr := a.Ring.Route(src.NodeID, key, nil)
+	if rerr != nil {
+		return 0, 0, false, rerr
+	}
+	for _, h := range res.Hops {
+		from := a.Ring.Node(h.From.ID)
+		to := a.Ring.Node(h.To.ID)
+		if from != nil && to != nil {
+			cost += a.Net.Cost(from.Host, to.Host)
+		}
+	}
+	hops = res.NumHops()
+	// Delivery succeeds only if the responsible node is still that
+	// identity (same epoch ⇒ same key and endpoint).
+	ok = epoch == dst.Epoch && a.Ring.Node(dst.NodeID) != nil &&
+		res.Dest.ID == dst.NodeID
+	return cost, hops, ok, nil
+}

@@ -1,0 +1,422 @@
+// Package chord implements a Chord-flavored structured overlay (Stoica
+// et al., SIGCOMM 2001) satisfying Bristle's core.Substrate interface —
+// the concrete demonstration of the paper's closing claim that "the
+// concept proposed in Bristle can be applied to existing HS-P2P
+// overlays" and of §2.1's "the stationary layer can be any HS-P2P".
+//
+// Chord differs from the Tornado-style ring of internal/overlay in both
+// respects Figure 2's footnote calls out:
+//
+//   - closeness: the node responsible for a key is its *successor* (the
+//     first node clockwise), not the node at minimal shortest-arc
+//     distance;
+//   - routing: strictly unidirectional — every hop moves clockwise via
+//     the closest preceding finger, never the shorter way around.
+//
+// It reuses the Ref/NodeID/Hop/RouteResult vocabulary of internal/overlay
+// so both substrates are interchangeable behind the interface.
+package chord
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+)
+
+// Config tunes the Chord geometry.
+type Config struct {
+	// SuccessorListSize is the number of immediate successors each node
+	// tracks (fault tolerance + the replication neighborhood).
+	SuccessorListSize int
+	// ProximityChoices enables proximity finger selection among the first
+	// nodes past each finger start (0 = plain Chord: exact successor of
+	// the finger start).
+	ProximityChoices int
+}
+
+// DefaultConfig mirrors common Chord deployments.
+func DefaultConfig() Config {
+	return Config{SuccessorListSize: 4, ProximityChoices: 0}
+}
+
+// FromOverlayConfig adapts an overlay.Config so both substrates can be
+// constructed from the same Bristle configuration.
+func FromOverlayConfig(oc overlay.Config) Config {
+	return Config{SuccessorListSize: oc.LeafSize, ProximityChoices: oc.ProximityChoices}
+}
+
+type node struct {
+	ref  overlay.Ref
+	host simnet.HostID
+
+	successors  []overlay.Ref // immediate successors, nearest first
+	predecessor overlay.Ref
+	hasPred     bool
+	fingers     []overlay.Ref // deduplicated, increasing clockwise distance
+}
+
+// Chord is a Chord overlay instance implementing core.Substrate.
+type Chord struct {
+	cfg    Config
+	net    *simnet.Network
+	nodes  []*node
+	alive  int
+	sorted []overlay.Ref
+}
+
+// New creates an empty Chord overlay. net may be nil (disables proximity
+// finger selection).
+func New(cfg Config, net *simnet.Network) *Chord {
+	if cfg.SuccessorListSize < 1 {
+		cfg.SuccessorListSize = 1
+	}
+	if cfg.ProximityChoices < 0 {
+		cfg.ProximityChoices = 0
+	}
+	return &Chord{cfg: cfg, net: net}
+}
+
+// Size returns the live-node count.
+func (c *Chord) Size() int { return c.alive }
+
+// searchIndex returns the first index in sorted with key >= key.
+func (c *Chord) searchIndex(key hashkey.Key) int {
+	return sort.Search(len(c.sorted), func(i int) bool {
+		return c.sorted[i].Key >= key
+	})
+}
+
+// successorIdx returns the index of successor(key): the first node at or
+// clockwise after key.
+func (c *Chord) successorIdx(key hashkey.Key) int {
+	idx := c.searchIndex(key)
+	if idx == len(c.sorted) {
+		return 0
+	}
+	return idx
+}
+
+// AddNode joins a node and builds its state; neighbors' successor lists
+// are repaired locally.
+func (c *Chord) AddNode(key hashkey.Key, host simnet.HostID) (overlay.NodeID, error) {
+	idx := c.searchIndex(key)
+	if idx < len(c.sorted) && c.sorted[idx].Key == key {
+		return overlay.NoNode, fmt.Errorf("chord: key %v already present", key)
+	}
+	id := overlay.NodeID(len(c.nodes))
+	n := &node{ref: overlay.Ref{Key: key, ID: id}, host: host}
+	c.nodes = append(c.nodes, n)
+	c.sorted = append(c.sorted, overlay.Ref{})
+	copy(c.sorted[idx+1:], c.sorted[idx:])
+	c.sorted[idx] = n.ref
+	c.alive++
+
+	c.buildState(n)
+	c.repairAround(key)
+	return id, nil
+}
+
+// RemoveNode departs a node; ring neighbors repair their successor lists.
+func (c *Chord) RemoveNode(id overlay.NodeID) error {
+	n := c.nodeOf(id)
+	if n == nil {
+		return fmt.Errorf("chord: node %d unknown or departed", id)
+	}
+	idx := c.searchIndex(n.ref.Key)
+	if idx >= len(c.sorted) || c.sorted[idx].ID != id {
+		return fmt.Errorf("chord: index corrupt for node %d", id)
+	}
+	c.sorted = append(c.sorted[:idx], c.sorted[idx+1:]...)
+	c.nodes[id] = nil
+	c.alive--
+	if c.alive > 0 {
+		c.repairAround(n.ref.Key)
+	}
+	return nil
+}
+
+// Stabilize rebuilds every node's successor list and fingers.
+func (c *Chord) Stabilize() {
+	for _, ref := range c.sorted {
+		c.buildState(c.nodes[ref.ID])
+	}
+}
+
+func (c *Chord) nodeOf(id overlay.NodeID) *node {
+	if id < 0 || int(id) >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[id]
+}
+
+// buildState fills a node's successors, predecessor and fingers from the
+// membership index.
+func (c *Chord) buildState(n *node) {
+	m := len(c.sorted)
+	n.successors = n.successors[:0]
+	n.fingers = n.fingers[:0]
+	n.hasPred = false
+	if m <= 1 {
+		return
+	}
+	self := c.searchIndex(n.ref.Key)
+	for i := 1; i <= c.cfg.SuccessorListSize && i < m; i++ {
+		n.successors = append(n.successors, c.sorted[(self+i)%m])
+	}
+	n.predecessor = c.sorted[(self-1+m)%m]
+	n.hasPred = true
+
+	lastID := overlay.NoNode
+	for i := uint(0); i < hashkey.RingBits; i++ {
+		start := n.ref.Key + hashkey.Key(uint64(1)<<i)
+		ref := c.pickFinger(n, start)
+		if ref.ID == n.ref.ID || ref.ID == lastID {
+			continue
+		}
+		// Fingers must stay within the clockwise half they index: skip
+		// entries that wrapped all the way past self.
+		n.fingers = append(n.fingers, ref)
+		lastID = ref.ID
+	}
+}
+
+// pickFinger returns successor(start), or with proximity selection the
+// underlay-nearest of the next ProximityChoices+1 nodes past start.
+func (c *Chord) pickFinger(n *node, start hashkey.Key) overlay.Ref {
+	m := len(c.sorted)
+	first := c.successorIdx(start)
+	best := c.sorted[first]
+	if c.net == nil || c.cfg.ProximityChoices == 0 {
+		return best
+	}
+	bestCost := c.net.Cost(n.host, c.nodes[best.ID].host)
+	for k := 1; k <= c.cfg.ProximityChoices && k < m; k++ {
+		cand := c.sorted[(first+k)%m]
+		// Candidates must still be "after start and before self" in ring
+		// terms to keep routing monotone; stop at self.
+		if cand.ID == n.ref.ID {
+			break
+		}
+		cost := c.net.Cost(n.host, c.nodes[cand.ID].host)
+		if cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	return best
+}
+
+// repairAround rebuilds the state of the SuccessorListSize nodes on each
+// side of key.
+func (c *Chord) repairAround(key hashkey.Key) {
+	m := len(c.sorted)
+	if m == 0 {
+		return
+	}
+	start := c.successorIdx(key)
+	for off := -c.cfg.SuccessorListSize; off <= c.cfg.SuccessorListSize; off++ {
+		ref := c.sorted[((start+off)%m+m)%m]
+		c.buildState(c.nodes[ref.ID])
+	}
+}
+
+// --- Substrate interface -------------------------------------------------
+
+// Alive reports node liveness.
+func (c *Chord) Alive(id overlay.NodeID) bool { return c.nodeOf(id) != nil }
+
+// RefOf returns a live node's Ref.
+func (c *Chord) RefOf(id overlay.NodeID) (overlay.Ref, bool) {
+	n := c.nodeOf(id)
+	if n == nil {
+		return overlay.Ref{}, false
+	}
+	return n.ref, true
+}
+
+// HostOf returns a live node's underlay host.
+func (c *Chord) HostOf(id overlay.NodeID) (simnet.HostID, bool) {
+	n := c.nodeOf(id)
+	if n == nil {
+		return simnet.NoHost, false
+	}
+	return n.host, true
+}
+
+// NeighborsOf returns a node's distinct state entries.
+func (c *Chord) NeighborsOf(id overlay.NodeID) []overlay.Ref {
+	n := c.nodeOf(id)
+	if n == nil {
+		return nil
+	}
+	seen := make(map[overlay.NodeID]bool)
+	var out []overlay.Ref
+	add := func(refs []overlay.Ref) {
+		for _, r := range refs {
+			if r.ID != n.ref.ID && !seen[r.ID] {
+				seen[r.ID] = true
+				out = append(out, r)
+			}
+		}
+	}
+	add(n.successors)
+	if n.hasPred {
+		add([]overlay.Ref{n.predecessor})
+	}
+	add(n.fingers)
+	return out
+}
+
+// StateSizeOf returns the routing-table entry count.
+func (c *Chord) StateSizeOf(id overlay.NodeID) int { return len(c.NeighborsOf(id)) }
+
+// ClosestRef returns Chord's responsible node for target: successor(target).
+func (c *Chord) ClosestRef(target hashkey.Key) (overlay.Ref, bool) {
+	if c.alive == 0 {
+		return overlay.Ref{}, false
+	}
+	return c.sorted[c.successorIdx(target)], true
+}
+
+// NeighborhoodRefs returns Chord's replication set: successor(key) and the
+// k−1 nodes after it.
+func (c *Chord) NeighborhoodRefs(key hashkey.Key, k int) []overlay.Ref {
+	if k <= 0 || c.alive == 0 {
+		return nil
+	}
+	if k > c.alive {
+		k = c.alive
+	}
+	m := len(c.sorted)
+	start := c.successorIdx(key)
+	out := make([]overlay.Ref, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, c.sorted[(start+i)%m])
+	}
+	return out
+}
+
+// Refs lists all live nodes in key order.
+func (c *Chord) Refs() []overlay.Ref {
+	out := make([]overlay.Ref, len(c.sorted))
+	copy(out, c.sorted)
+	return out
+}
+
+// Route forwards clockwise toward successor(target) using the classic
+// closest-preceding-finger rule.
+func (c *Chord) Route(src overlay.NodeID, target hashkey.Key, visit overlay.HopVisitor) (overlay.RouteResult, error) {
+	return c.RouteWithOptions(src, target, overlay.RouteOptions{}, visit)
+}
+
+// RouteWithOptions routes with an optional next-hop preference. Chord is
+// inherently unidirectional, so ForceDir is ignored (every route is CW).
+func (c *Chord) RouteWithOptions(src overlay.NodeID, target hashkey.Key, opts overlay.RouteOptions, visit overlay.HopVisitor) (overlay.RouteResult, error) {
+	cur := c.nodeOf(src)
+	if cur == nil {
+		return overlay.RouteResult{}, fmt.Errorf("chord: route from unknown node %d", src)
+	}
+	res := overlay.RouteResult{Dir: hashkey.CW}
+	maxHops := 8 * (log2ceil(c.alive) + 4)
+
+	for step := 0; step < maxHops; step++ {
+		// Done when target ∈ (cur, successor]: successor is responsible.
+		succ, ok := c.liveSuccessor(cur)
+		if !ok {
+			res.Dest = cur.ref
+			return res, nil // singleton ring
+		}
+		if hashkey.InArcHalfOpen(target, cur.ref.Key, succ.Key) {
+			if succ.Key == cur.ref.Key {
+				res.Dest = cur.ref
+				return res, nil
+			}
+			// Final hop: deliver to the responsible successor.
+			hop := overlay.Hop{From: cur.ref, To: succ, Final: true}
+			if visit != nil && !visit(hop) {
+				res.Dest = cur.ref
+				return res, nil
+			}
+			res.Hops = append(res.Hops, hop)
+			res.Dest = succ
+			return res, nil
+		}
+		next, ok := c.closestPreceding(cur, target, opts.Prefer)
+		if !ok {
+			// No progress possible through fingers; step to the successor.
+			next = succ
+		}
+		hop := overlay.Hop{From: cur.ref, To: next}
+		if visit != nil && !visit(hop) {
+			res.Dest = cur.ref
+			return res, nil
+		}
+		res.Hops = append(res.Hops, hop)
+		nn := c.nodeOf(next.ID)
+		if nn == nil {
+			return res, fmt.Errorf("chord: routed to departed node %d", next.ID)
+		}
+		cur = nn
+		if cur.ref.Key == target {
+			res.Dest = cur.ref
+			return res, nil
+		}
+	}
+	res.Dest = cur.ref
+	return res, fmt.Errorf("chord: routing exceeded %d hops", maxHops)
+}
+
+// liveSuccessor returns the first live entry of cur's successor list.
+func (c *Chord) liveSuccessor(cur *node) (overlay.Ref, bool) {
+	for _, s := range cur.successors {
+		if c.nodeOf(s.ID) != nil {
+			return s, true
+		}
+	}
+	return overlay.Ref{}, false
+}
+
+// closestPreceding picks the state entry most advanced clockwise from cur
+// while strictly preceding target; preferred candidates win when any
+// advances.
+func (c *Chord) closestPreceding(cur *node, target hashkey.Key, prefer func(overlay.Ref) bool) (overlay.Ref, bool) {
+	span := hashkey.Clockwise(cur.ref.Key, target)
+	var best, bestPref overlay.Ref
+	bestAdv, bestPrefAdv := uint64(0), uint64(0)
+	consider := func(refs []overlay.Ref) {
+		for _, r := range refs {
+			if r.ID == cur.ref.ID || c.nodeOf(r.ID) == nil {
+				continue
+			}
+			adv := hashkey.Clockwise(cur.ref.Key, r.Key)
+			if adv == 0 || adv >= span {
+				continue // at/after target: not a preceding node
+			}
+			if adv > bestAdv {
+				bestAdv, best = adv, r
+			}
+			if prefer != nil && prefer(r) && adv > bestPrefAdv {
+				bestPrefAdv, bestPref = adv, r
+			}
+		}
+	}
+	consider(cur.fingers)
+	consider(cur.successors)
+	if bestPrefAdv > 0 {
+		return bestPref, true
+	}
+	if bestAdv == 0 {
+		return overlay.Ref{}, false
+	}
+	return best, true
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,318 @@
+package chord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bristle/internal/core"
+	"bristle/internal/hashkey"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+)
+
+// Compile-time check: Chord satisfies Bristle's substrate contract.
+var _ core.Substrate = (*Chord)(nil)
+
+func buildChord(t testing.TB, n int, seed int64) (*Chord, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ch := New(DefaultConfig(), nil)
+	for i := 0; i < n; i++ {
+		for {
+			if _, err := ch.AddNode(hashkey.Random(rng), simnet.NoHost); err == nil {
+				break
+			}
+		}
+	}
+	return ch, rng
+}
+
+func TestSuccessorSemantics(t *testing.T) {
+	// Chord's "closest" is the successor, not the shortest-arc nearest —
+	// the Figure 2 footnote about differing closeness definitions.
+	ch := New(DefaultConfig(), nil)
+	a, _ := ch.AddNode(100, simnet.NoHost)
+	b, _ := ch.AddNode(200, simnet.NoHost)
+	_ = a
+
+	// Key 150 is arc-closer to 100+arc... successor semantics: owner of
+	// 101..200 is node 200; owner of 201..100 (wrapping) is node 100.
+	ref, ok := ch.ClosestRef(150)
+	if !ok || ref.ID != b {
+		t.Fatalf("ClosestRef(150) = %v, want node 200", ref)
+	}
+	ref, _ = ch.ClosestRef(199)
+	if ref.ID != b {
+		t.Fatalf("ClosestRef(199) = %v, want node 200", ref)
+	}
+	ref, _ = ch.ClosestRef(200)
+	if ref.ID != b {
+		t.Fatalf("ClosestRef(200) = %v, want node 200 itself", ref)
+	}
+	ref, _ = ch.ClosestRef(201)
+	if ref.Key != 100 {
+		t.Fatalf("ClosestRef(201) = %v, want wrap to node 100", ref)
+	}
+}
+
+func TestClosestMatchesBruteForceSuccessor(t *testing.T) {
+	ch, rng := buildChord(t, 200, 1)
+	refs := ch.Refs()
+	for trial := 0; trial < 200; trial++ {
+		target := hashkey.Random(rng)
+		// Brute force successor.
+		var want overlay.Ref
+		found := false
+		for _, r := range refs {
+			if !found {
+				want, found = r, true
+				continue
+			}
+			// successor = minimal clockwise distance from target.
+			if hashkey.Clockwise(target, r.Key) < hashkey.Clockwise(target, want.Key) {
+				want = r
+			}
+		}
+		got, ok := ch.ClosestRef(target)
+		if !ok || got.ID != want.ID {
+			t.Fatalf("ClosestRef(%v) = %v, want %v", target, got, want)
+		}
+	}
+}
+
+func TestRouteReachesSuccessor(t *testing.T) {
+	for _, size := range []int{2, 10, 100, 500} {
+		ch, rng := buildChord(t, size, int64(size))
+		refs := ch.Refs()
+		for trial := 0; trial < 100; trial++ {
+			src := refs[rng.Intn(len(refs))]
+			target := hashkey.Random(rng)
+			res, err := ch.Route(src.ID, target, nil)
+			if err != nil {
+				t.Fatalf("size %d: %v", size, err)
+			}
+			want, _ := ch.ClosestRef(target)
+			if res.Dest.ID != want.ID {
+				t.Fatalf("size %d: dest %d, successor %d", size, res.Dest.ID, want.ID)
+			}
+			if res.Dir != hashkey.CW {
+				t.Fatal("chord route not clockwise")
+			}
+		}
+	}
+}
+
+func TestRouteStrictlyClockwise(t *testing.T) {
+	ch, rng := buildChord(t, 300, 2)
+	refs := ch.Refs()
+	for trial := 0; trial < 100; trial++ {
+		src := refs[rng.Intn(len(refs))]
+		target := hashkey.Random(rng)
+		res, err := ch.Route(src.ID, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := src.Key
+		total := hashkey.Clockwise(src.Key, target)
+		for _, h := range res.Hops {
+			adv := hashkey.Clockwise(src.Key, h.To.Key)
+			if !h.Final && adv >= total && total > 0 {
+				t.Fatalf("non-final hop overshot target (adv %d ≥ total %d)", adv, total)
+			}
+			if hashkey.Clockwise(src.Key, prev) > adv && !h.Final {
+				t.Fatal("route moved counter-clockwise")
+			}
+			prev = h.To.Key
+		}
+	}
+}
+
+func TestRouteHopsLogarithmic(t *testing.T) {
+	for _, size := range []int{100, 400, 1600} {
+		ch, rng := buildChord(t, size, int64(10+size))
+		refs := ch.Refs()
+		total := 0
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			src := refs[rng.Intn(len(refs))]
+			res, err := ch.Route(src.ID, hashkey.Random(rng), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.NumHops()
+		}
+		mean := float64(total) / trials
+		if logN := math.Log2(float64(size)); mean > 2*logN {
+			t.Errorf("size %d: mean hops %.2f > 2·log2(N)=%.2f", size, mean, logN)
+		}
+	}
+}
+
+func TestStateSizeLogarithmic(t *testing.T) {
+	ch, _ := buildChord(t, 1000, 3)
+	maxState := 0
+	for _, r := range ch.Refs() {
+		if s := ch.StateSizeOf(r.ID); s > maxState {
+			maxState = s
+		}
+	}
+	if logN := math.Log2(1000); float64(maxState) > 6*logN {
+		t.Errorf("max state %d > 6·log2(N)=%.1f", maxState, 6*logN)
+	}
+}
+
+func TestNeighborhoodIsSuccessorRun(t *testing.T) {
+	ch, rng := buildChord(t, 200, 4)
+	for trial := 0; trial < 50; trial++ {
+		key := hashkey.Random(rng)
+		k := 1 + rng.Intn(6)
+		nb := ch.NeighborhoodRefs(key, k)
+		if len(nb) != k {
+			t.Fatalf("neighborhood size %d, want %d", len(nb), k)
+		}
+		owner, _ := ch.ClosestRef(key)
+		if nb[0].ID != owner.ID {
+			t.Fatal("neighborhood head is not the successor")
+		}
+		// Consecutive clockwise run.
+		for i := 1; i < len(nb); i++ {
+			if hashkey.Clockwise(key, nb[i-1].Key) >= hashkey.Clockwise(key, nb[i].Key) {
+				t.Fatal("neighborhood not a clockwise successor run")
+			}
+		}
+	}
+}
+
+func TestChurnRoutesStillConverge(t *testing.T) {
+	ch, rng := buildChord(t, 300, 5)
+	refs := ch.Refs()
+	for i := 0; i < 90; i++ {
+		victim := refs[rng.Intn(len(refs))]
+		if !ch.Alive(victim.ID) {
+			continue
+		}
+		if err := ch.RemoveNode(victim.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch.Stabilize()
+	live := ch.Refs()
+	for trial := 0; trial < 100; trial++ {
+		src := live[rng.Intn(len(live))]
+		target := hashkey.Random(rng)
+		res, err := ch.Route(src.ID, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ch.ClosestRef(target)
+		if res.Dest.ID != want.ID {
+			t.Fatalf("post-churn dest %d != successor %d", res.Dest.ID, want.ID)
+		}
+	}
+}
+
+func TestChurnWithoutStabilizeStillConverges(t *testing.T) {
+	ch, rng := buildChord(t, 200, 6)
+	refs := ch.Refs()
+	for i := 0; i < 40; i++ {
+		victim := refs[rng.Intn(len(refs))]
+		if !ch.Alive(victim.ID) {
+			continue
+		}
+		if err := ch.RemoveNode(victim.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := ch.Refs()
+	for trial := 0; trial < 100; trial++ {
+		src := live[rng.Intn(len(live))]
+		target := hashkey.Random(rng)
+		res, err := ch.Route(src.ID, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ch.ClosestRef(target)
+		if res.Dest.ID != want.ID {
+			t.Fatalf("stale-finger dest %d != successor %d", res.Dest.ID, want.ID)
+		}
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	ch := New(DefaultConfig(), nil)
+	if _, err := ch.AddNode(7, simnet.NoHost); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.AddNode(7, simnet.NoHost); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestRemoveUnknown(t *testing.T) {
+	ch, _ := buildChord(t, 5, 7)
+	if err := ch.RemoveNode(overlay.NodeID(99)); err == nil {
+		t.Fatal("removing unknown node succeeded")
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	ch := New(DefaultConfig(), nil)
+	id, err := ch.AddNode(42, simnet.NoHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ch.Route(id, 7, nil)
+	if err != nil || res.Dest.ID != id || res.NumHops() != 0 {
+		t.Fatalf("singleton route: %+v, %v", res, err)
+	}
+	if !ch.Alive(id) {
+		t.Fatal("singleton not alive")
+	}
+}
+
+func TestHopVisitorAbort(t *testing.T) {
+	ch, rng := buildChord(t, 200, 8)
+	refs := ch.Refs()
+	for trial := 0; trial < 20; trial++ {
+		src := refs[rng.Intn(len(refs))]
+		target := hashkey.Random(rng)
+		full, err := ch.Route(src.ID, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.NumHops() < 2 {
+			continue
+		}
+		hops := 0
+		res, err := ch.Route(src.ID, target, func(overlay.Hop) bool {
+			hops++
+			return hops < 2
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumHops() != 1 {
+			t.Fatalf("aborted route recorded %d hops", res.NumHops())
+		}
+		return
+	}
+	t.Skip("no multi-hop route found")
+}
+
+func TestNeighborsOfDeparted(t *testing.T) {
+	ch, _ := buildChord(t, 10, 9)
+	ref := ch.Refs()[0]
+	if err := ch.RemoveNode(ref.ID); err != nil {
+		t.Fatal(err)
+	}
+	if nb := ch.NeighborsOf(ref.ID); nb != nil {
+		t.Fatal("departed node has neighbors")
+	}
+	if _, ok := ch.RefOf(ref.ID); ok {
+		t.Fatal("departed node has a Ref")
+	}
+	if _, ok := ch.HostOf(ref.ID); ok {
+		t.Fatal("departed node has a host")
+	}
+}

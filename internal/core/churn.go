@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"bristle/internal/overlay"
+)
+
+// JoinStats reports the traffic footprint of one dynamic join (Figure 5:
+// "This at most takes 2 × O(log N) messages sent and received by node i").
+type JoinStats struct {
+	Peer          *Peer
+	Messages      int // state publications + returned registrations
+	Registrations int // registrations established in either direction
+}
+
+// Join adds a peer dynamically after the network is live, running the
+// Figure 5 protocol: the newcomer collects state-pairs from the nodes a
+// join walk visits (here: its overlay neighbors, chosen with network
+// proximity), registers itself to each peer whose state it now holds, and
+// the peers that now hold the newcomer's state register themselves back.
+func (n *Network) Join(kind Kind, capacity float64) (JoinStats, error) {
+	p, err := n.AddPeer(kind, capacity)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	js := JoinStats{Peer: p}
+
+	// Outbound: p holds its neighbors' state-pairs ⇒ p registers to them.
+	for _, ref := range n.MobileRing.NeighborsOf(p.MobileRingID) {
+		neighbor := n.byMobile[ref.ID]
+		if neighbor == nil || neighbor.ID == p.ID {
+			continue
+		}
+		n.Register(p, neighbor)
+		js.Messages++
+		js.Registrations++
+	}
+
+	// Inbound: the peers whose leaf sets now include p hold p's state ⇒
+	// they register to p. The leaf repair in AddNode touched exactly the
+	// ring neighborhood of p's key.
+	for _, nb := range n.MobileRing.NeighborhoodRefs(p.Key, 2*n.cfg.Overlay.LeafSize+1) {
+		q := n.byMobile[nb.ID]
+		if q == nil || q.ID == p.ID {
+			continue
+		}
+		n.Register(q, p)
+		js.Messages++
+		js.Registrations++
+	}
+
+	// A mobile newcomer announces its location to the stationary layer.
+	if p.Kind == Mobile {
+		if _, err := n.PublishLocation(p); err != nil && err != ErrNoStationary {
+			return js, err
+		}
+		js.Messages++
+	}
+	return js, nil
+}
+
+// Leave removes a peer from both layers, deregisters it everywhere, and
+// drops the location records it held (stationary peers) so that lookups
+// fall over to replicas. Cached state-pairs pointing at the departed peer
+// are left to expire via their leases, as in the paper's Type A aging.
+func (n *Network) Leave(p *Peer) error {
+	if n.Peer(p.ID) == nil {
+		return fmt.Errorf("core: unknown peer %d", p.ID)
+	}
+	if !n.MobileRing.Alive(p.MobileRingID) {
+		return fmt.Errorf("core: peer %d already left", p.ID)
+	}
+	if err := n.MobileRing.RemoveNode(p.MobileRingID); err != nil {
+		return err
+	}
+	delete(n.byMobile, p.MobileRingID)
+	if p.StatRingID != overlay.NoNode {
+		if err := n.StationaryRing.RemoveNode(p.StatRingID); err != nil {
+			return err
+		}
+		delete(n.byStat, p.StatRingID)
+		p.store = nil
+	}
+	n.Net.Detach(p.Host)
+
+	// Remove p from every registry it joined, and drop its own registry.
+	for _, q := range n.peers {
+		n.Deregister(p, q)
+	}
+	p.registry = nil
+
+	// Mobile peers that used p as their stationary entry need a new one.
+	if p.Kind == Stationary {
+		for _, q := range n.peers {
+			if q.Kind == Mobile && q.entry != nil && q.entry.ID == p.ID {
+				n.assignEntry(q)
+			}
+		}
+	}
+	return nil
+}
+
+// Refresh re-runs a peer's registration pass (the periodic re-join of
+// §2.3.3 and §4.3: "a node had joined Bristle can periodically re-perform
+// joining operations to refresh its local state and registrations").
+func (n *Network) Refresh(p *Peer) {
+	for _, ref := range n.MobileRing.NeighborsOf(p.MobileRingID) {
+		neighbor := n.byMobile[ref.ID]
+		if neighbor == nil || neighbor.ID == p.ID {
+			continue
+		}
+		n.Register(p, neighbor)
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/ldt"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+	"bristle/internal/topology"
+)
+
+// ErrNotFound is returned by Discover when no valid location record exists
+// for the requested key.
+var ErrNotFound = errors.New("core: no valid location record")
+
+// ErrNoStationary is returned when an operation needs the stationary layer
+// and none exists.
+var ErrNoStationary = errors.New("core: no stationary layer")
+
+// Register records x's interest in y's movement (Section 2.3.1): x joins
+// R(y) and will receive y's proactive location updates through y's LDT.
+// Registering twice is idempotent. x also learns y's current address
+// (early binding starts with a fresh lease).
+func (n *Network) Register(x, y *Peer) {
+	for _, r := range y.registry {
+		if r.ID == x.ID {
+			return
+		}
+	}
+	y.registry = append(y.registry, x)
+	x.cache[y.ID] = StatePair{
+		Key:     y.Key,
+		Addr:    n.Net.AddrOf(y.Host),
+		Expires: n.leaseUntil(n.now()),
+	}
+}
+
+// Deregister removes x from R(y).
+func (n *Network) Deregister(x, y *Peer) {
+	for i, r := range y.registry {
+		if r.ID == x.ID {
+			y.registry = append(y.registry[:i], y.registry[i+1:]...)
+			return
+		}
+	}
+}
+
+// BuildRegistries derives every peer's registry from the overlay state, as
+// Figure 5 prescribes: whenever a peer holds another peer's state-pair in
+// its routing table, it registers itself to that peer. Registries built
+// this way have O(log N) members — the LDT size property of Section 2.3.
+func (n *Network) BuildRegistries() {
+	for _, p := range n.peers {
+		p.registry = p.registry[:0]
+	}
+	for _, p := range n.peers {
+		for _, ref := range n.MobileRing.NeighborsOf(p.MobileRingID) {
+			neighbor := n.byMobile[ref.ID]
+			if neighbor == nil || neighbor.ID == p.ID {
+				continue
+			}
+			// p keeps neighbor's state-pair ⇒ p registers to neighbor.
+			n.Register(p, neighbor)
+		}
+	}
+}
+
+// OpStats reports the cost of one control-plane operation.
+type OpStats struct {
+	Hops int
+	Cost float64
+}
+
+// locationKey maps a peer key to the key under which its location record
+// is stored in the stationary layer.
+//
+// Under scrambled naming this is the identity (the paper's "the node
+// whose hash key is the closest to Y's"). Under clustered naming every
+// mobile key lies *outside* the stationary arc, so the closest stationary
+// peers are the handful at the arc boundaries — all location records
+// would pile onto them, creating hotspots and a correlated-failure risk
+// the paper does not discuss. We therefore rehash the key uniformly into
+// the stationary arc, preserving O(log N) discovery while spreading the
+// location store evenly across the stationary layer.
+func (n *Network) locationKey(key hashkey.Key) hashkey.Key {
+	if !n.hasArc {
+		return key
+	}
+	w := n.arc.Width()
+	if w == ^uint64(0) {
+		return key
+	}
+	rehash := uint64(hashkey.FromBytes([]byte(key.String())))
+	return n.arc.Lo + hashkey.Key(rehash%(w+1))
+}
+
+// PublishLocation pushes p's current address to the stationary layer: a
+// route from p's entry point to the stationary peer closest to p.Key,
+// which stores the record and replicates it to the ReplicationFactor−1
+// next-closest stationary peers (§2.3.2 availability). Returns the
+// operation's hop/cost footprint.
+func (n *Network) PublishLocation(p *Peer) (OpStats, error) {
+	if p.entry == nil || n.StationaryRing.Size() == 0 {
+		return OpStats{}, ErrNoStationary
+	}
+	now := n.now()
+	rec := StatePair{Key: p.Key, Addr: n.Net.AddrOf(p.Host), Expires: n.leaseUntil(now)}
+	lk := n.locationKey(p.Key)
+
+	var op OpStats
+	// Hop from p to its entry point (free if p is its own entry).
+	if p.entry.ID != p.ID {
+		op.Hops++
+		op.Cost += n.Net.Cost(p.Host, p.entry.Host)
+	}
+	res, err := n.StationaryRing.Route(p.entry.StatRingID, lk, nil)
+	if err != nil {
+		return op, fmt.Errorf("core: publish route: %w", err)
+	}
+	op.Hops += res.NumHops()
+	op.Cost += n.ringHopsCost(n.StationaryRing, res.Hops)
+
+	// Store at the resolver and its replica neighborhood.
+	replicas := n.StationaryRing.NeighborhoodRefs(lk, n.cfg.ReplicationFactor)
+	resolver := n.byStat[res.Dest.ID]
+	for _, ref := range replicas {
+		holder := n.byStat[ref.ID]
+		holder.store[p.Key] = rec
+		if holder.ID != resolver.ID {
+			op.Hops++
+			op.Cost += n.Net.Cost(resolver.Host, holder.Host)
+		}
+	}
+	n.Stats.Publishes++
+	n.Stats.PublishHops += uint64(op.Hops)
+	n.Stats.PublishCost += op.Cost
+	return op, nil
+}
+
+// Discover resolves the network address of the peer owning key through the
+// stationary layer (the _discovery of Figure 2): from's entry point routes
+// the request to the stationary peer closest to key, which returns the
+// stored record. The reply hop back to the requester is included in the
+// accounting. A found-but-expired or found-but-unreachable record counts
+// as a miss.
+func (n *Network) Discover(from *Peer, key hashkey.Key) (StatePair, OpStats, error) {
+	if from.entry == nil || n.StationaryRing.Size() == 0 {
+		return StatePair{}, OpStats{}, ErrNoStationary
+	}
+	now := n.now()
+	lk := n.locationKey(key)
+	var op OpStats
+	if from.entry.ID != from.ID {
+		op.Hops++
+		op.Cost += n.Net.Cost(from.Host, from.entry.Host)
+	}
+	res, err := n.StationaryRing.Route(from.entry.StatRingID, lk, nil)
+	if err != nil {
+		return StatePair{}, op, fmt.Errorf("core: discovery route: %w", err)
+	}
+	op.Hops += res.NumHops()
+	op.Cost += n.ringHopsCost(n.StationaryRing, res.Hops)
+
+	resolver := n.byStat[res.Dest.ID]
+	rec, ok := resolver.store[key]
+
+	// §2.3.2 availability: if the resolver has no valid record (it may
+	// have become responsible only after churn), fall over to the
+	// replication neighborhood — "the requested data item can be rapidly
+	// accessed in the remaining k−1 nodes". Each attempt costs one hop.
+	if !ok || !rec.ValidAt(now) || !n.Net.Valid(rec.Addr) {
+		ok = false
+		prev := resolver
+		for _, ref := range n.StationaryRing.NeighborhoodRefs(lk, n.cfg.ReplicationFactor) {
+			replica := n.byStat[ref.ID]
+			if replica.ID == resolver.ID {
+				continue
+			}
+			op.Hops++
+			op.Cost += n.Net.Cost(prev.Host, replica.Host)
+			prev = replica
+			if r, found := replica.store[key]; found && r.ValidAt(now) && n.Net.Valid(r.Addr) {
+				rec, ok = r, true
+				resolver = replica
+				break
+			}
+		}
+	}
+
+	// Reply hop from the answering node back to the requester.
+	op.Hops++
+	op.Cost += n.Net.Cost(resolver.Host, from.Host)
+
+	n.Stats.Discoveries++
+	n.Stats.DiscoveryHops += uint64(op.Hops)
+	n.Stats.DiscoveryCost += op.Cost
+
+	if !ok {
+		n.Stats.DiscoveryMisses++
+		return StatePair{}, op, ErrNotFound
+	}
+	if n.cfg.CacheResolved {
+		if owner := n.ownerOfKey(key); owner != nil {
+			from.cache[owner.ID] = rec
+		}
+	}
+	return rec, op, nil
+}
+
+// ownerOfKey maps a key back to the peer that owns it exactly, if any.
+func (n *Network) ownerOfKey(key hashkey.Key) *Peer {
+	ref, ok := n.MobileRing.ClosestRef(key)
+	if !ok || ref.Key != key {
+		return nil
+	}
+	return n.byMobile[ref.ID]
+}
+
+// UpdateStats reports the footprint of one location update (Section 2.3.1).
+type UpdateStats struct {
+	Publish  OpStats // stationary-layer publication
+	Messages int     // LDT advertisement messages (tree edges)
+	Cost     float64 // underlay cost of the LDT advertisement
+	Depth    int     // LDT depth (root = 1)
+}
+
+// UpdateLocation runs the full location-update protocol for p after a
+// movement: publish the new address to the stationary layer, then
+// advertise it to R(p) through the capacity-aware LDT of Figure 4. Every
+// registry member's cached state-pair for p is refreshed with a new lease
+// (early binding).
+func (n *Network) UpdateLocation(p *Peer) (UpdateStats, error) {
+	var us UpdateStats
+	pub, err := n.PublishLocation(p)
+	if err != nil {
+		return us, err
+	}
+	us.Publish = pub
+
+	tree, err := n.BuildLDT(p)
+	if err != nil {
+		return us, err
+	}
+	us.Messages = tree.Edges()
+	us.Cost = tree.EdgeCost(n.Net.RouterDistance)
+	us.Depth = tree.Depth()
+
+	// Deliver the update along the tree: refresh every member's lease.
+	// With UpdateLossRate > 0 a member may miss the push (§2.3.2) and
+	// falls back to late binding on its next send.
+	now := n.now()
+	rec := StatePair{Key: p.Key, Addr: n.Net.AddrOf(p.Host), Expires: n.leaseUntil(now)}
+	tree.Walk(func(tn *ldt.Node) {
+		member := n.Peer(PeerID(tn.Member.ID))
+		if member == nil || member.ID == p.ID {
+			return
+		}
+		if n.cfg.UpdateLossRate > 0 && n.rng.Float64() < n.cfg.UpdateLossRate {
+			n.Stats.UpdatesLost++
+			return
+		}
+		member.cache[p.ID] = rec
+	})
+
+	n.Stats.UpdateMessages += uint64(us.Messages)
+	n.Stats.UpdateCost += us.Cost
+	return us, nil
+}
+
+// BuildLDT constructs p's location dissemination tree from its current
+// registry, capacities, workloads and attachment points.
+func (n *Network) BuildLDT(p *Peer) (*ldt.Tree, error) {
+	members := make([]ldt.Member, len(p.registry))
+	for i, r := range p.registry {
+		members[i] = ldt.Member{
+			ID:       int32(r.ID),
+			Capacity: r.Capacity,
+			Used:     r.Used,
+			Router:   n.Net.RouterOf(r.Host),
+		}
+	}
+	params := ldt.Params{
+		UnitCost: n.cfg.UnitCost,
+		Locality: n.cfg.LDTLocality,
+	}
+	if params.Locality {
+		params.Dist = n.Net.RouterDistance
+	}
+	root := ldt.Member{
+		ID:       int32(p.ID),
+		Capacity: p.Capacity,
+		Used:     p.Used,
+		Router:   n.Net.RouterOf(p.Host),
+	}
+	return ldt.Build(root, members, params)
+}
+
+// MoveAndUpdate relocates mobile peer p to a random new attachment point
+// and runs the location-update protocol. It is the common workload step
+// for experiments and examples.
+func (n *Network) MoveAndUpdate(p *Peer) (UpdateStats, error) {
+	if p.Kind != Mobile {
+		return UpdateStats{}, fmt.Errorf("core: peer %d is stationary", p.ID)
+	}
+	n.Net.MoveRandom(p.Host, n.rng)
+	return n.UpdateLocation(p)
+}
+
+// MoveSilently relocates p without any location update — the failure mode
+// Type A suffers from and the Figure 7 experiment's setup ("a mobile node
+// only advertises its updated location to the stationary layer" is then
+// re-established with PublishLocation).
+func (n *Network) MoveSilently(p *Peer) simnet.Addr {
+	return n.Net.MoveRandom(p.Host, n.rng)
+}
+
+// ringHopsCost sums the underlay cost of a sequence of overlay hops on the
+// given ring, using the peers' current attachment points.
+func (n *Network) ringHopsCost(ring Substrate, hops []overlay.Hop) float64 {
+	total := 0.0
+	for _, h := range hops {
+		a, okA := ring.HostOf(h.From.ID)
+		b, okB := ring.HostOf(h.To.ID)
+		if !okA || !okB {
+			continue
+		}
+		total += n.Net.Cost(a, b)
+	}
+	return total
+}
+
+// StoreSize returns how many location records stationary peer p holds —
+// the empirical "responsibility" of Figure 3.
+func StoreSize(p *Peer) int { return len(p.store) }
+
+// RouterOf is a convenience for experiments needing a peer's attachment.
+func (n *Network) RouterOf(p *Peer) topology.RouterID { return n.Net.RouterOf(p.Host) }

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bristle/internal/baseline"
+	"bristle/internal/hashkey"
+	"bristle/internal/metrics"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+	"bristle/internal/store"
+)
+
+// DataChurnConfig parameterizes the stored-data mobility cost comparison.
+//
+// The paper's introduction charges Type A with "extra maintenance
+// overhead and unavailability of stored data": when a node's key is bound
+// to its address, movement re-keys the node, orphaning the items it was
+// responsible for until replication repair re-places them. Under Bristle
+// keys survive movement, so placement never changes. This experiment
+// quantifies both effects on the same workload.
+type DataChurnConfig struct {
+	Stationary  int
+	Mobile      int
+	Items       int
+	Replication int
+	Rounds      int // movement rounds; every mobile node moves once per round
+	Routers     int
+	Seed        int64
+}
+
+// DefaultDataChurn returns the laptop-scale configuration.
+func DefaultDataChurn() DataChurnConfig {
+	return DataChurnConfig{
+		Stationary:  150,
+		Mobile:      100,
+		Items:       400,
+		Replication: 3,
+		Rounds:      3,
+		Routers:     600,
+		Seed:        13,
+	}
+}
+
+// DataChurnRow is one design's aggregate behaviour.
+type DataChurnRow struct {
+	Design string
+	// AvailabilityPct is the fraction of items readable immediately after
+	// each movement round, before any repair runs (averaged over rounds).
+	AvailabilityPct float64
+	// TransfersPerMove is the mean number of item copies the repair sweep
+	// must move per node movement.
+	TransfersPerMove float64
+	// RepairedPct is the fraction readable after repair (should be ~100
+	// for both — replication works — the cost difference is the point).
+	RepairedPct float64
+}
+
+// RunDataChurn measures both designs.
+func RunDataChurn(cfg DataChurnConfig) ([]DataChurnRow, error) {
+	if cfg.Items < 1 || cfg.Mobile < 1 || cfg.Rounds < 1 {
+		return nil, fmt.Errorf("experiments: invalid data-churn config %+v", cfg)
+	}
+	bristle, err := dataChurnBristle(cfg)
+	if err != nil {
+		return nil, err
+	}
+	typeA, err := dataChurnTypeA(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []DataChurnRow{typeA, bristle}, nil
+}
+
+// dataChurnBristle: keys are stable identities; movement changes only
+// addresses, so data placement is untouched.
+func dataChurnBristle(cfg DataChurnConfig) (DataChurnRow, error) {
+	row := DataChurnRow{Design: "Bristle"}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := newUnderlay(cfg.Routers, cfg.Seed)
+	if err != nil {
+		return row, err
+	}
+	ring := overlay.NewRing(overlay.DefaultConfig(), net)
+	total := cfg.Stationary + cfg.Mobile
+	hosts := make([]simnet.HostID, 0, total)
+	for i := 0; i < total; i++ {
+		host := net.AttachHostRandom(rng)
+		for {
+			if _, err := ring.AddNode(hashkey.Random(rng), host); err == nil {
+				break
+			}
+		}
+		hosts = append(hosts, host)
+	}
+	kv := store.New(ring, cfg.Replication)
+	client := ring.Refs()[0].ID
+	keys := make([]hashkey.Key, cfg.Items)
+	for i := range keys {
+		keys[i] = hashkey.FromName(fmt.Sprintf("item-%d", i))
+		if _, err := kv.Put(client, keys[i], []byte{byte(i)}); err != nil {
+			return row, err
+		}
+	}
+
+	avail := &metrics.Sample{}
+	transfers := 0
+	moves := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		// Mobile nodes move: address changes only. The overlay ring and
+		// the store are key-addressed, so nothing is displaced.
+		for i := 0; i < cfg.Mobile; i++ {
+			net.MoveRandom(hosts[cfg.Stationary+i], rng)
+			moves++
+		}
+		readable := countReadable(kv, client, keys)
+		avail.Add(100 * float64(readable) / float64(cfg.Items))
+		transfers += kv.Rebalance()
+	}
+	row.AvailabilityPct = avail.Mean()
+	row.TransfersPerMove = float64(transfers) / float64(moves)
+	row.RepairedPct = 100 * float64(countReadable(kv, client, keys)) / float64(cfg.Items)
+	return row, nil
+}
+
+// dataChurnTypeA: movement = leave + rejoin under a new key; the items the
+// mover held are dropped (its fragment leaves with it) and every key range
+// shifts.
+func dataChurnTypeA(cfg DataChurnConfig) (DataChurnRow, error) {
+	row := DataChurnRow{Design: "Type A"}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	net, err := newUnderlay(cfg.Routers, cfg.Seed)
+	if err != nil {
+		return row, err
+	}
+	a := baseline.NewTypeA(overlay.DefaultConfig(), net, rng)
+	var movers []*baseline.APeer
+	for i := 0; i < cfg.Stationary; i++ {
+		if _, err := a.AddPeer(net.AttachHostRandom(rng), false); err != nil {
+			return row, err
+		}
+	}
+	for i := 0; i < cfg.Mobile; i++ {
+		p, err := a.AddPeer(net.AttachHostRandom(rng), true)
+		if err != nil {
+			return row, err
+		}
+		movers = append(movers, p)
+	}
+	kv := store.New(a.Ring, cfg.Replication)
+	client := a.Peers()[0].NodeID
+	keys := make([]hashkey.Key, cfg.Items)
+	for i := range keys {
+		keys[i] = hashkey.FromName(fmt.Sprintf("item-%d", i))
+		if _, err := kv.Put(client, keys[i], []byte{byte(i)}); err != nil {
+			return row, err
+		}
+	}
+
+	avail := &metrics.Sample{}
+	transfers := 0
+	moves := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, p := range movers {
+			old := p.NodeID
+			if err := a.Move(p); err != nil {
+				return row, err
+			}
+			// The departing identity takes its fragment with it.
+			kv.DropNode(old)
+			moves++
+		}
+		a.Ring.Stabilize()
+		readable := countReadable(kv, client, keys)
+		avail.Add(100 * float64(readable) / float64(cfg.Items))
+		transfers += kv.Rebalance()
+	}
+	row.AvailabilityPct = avail.Mean()
+	row.TransfersPerMove = float64(transfers) / float64(moves)
+	row.RepairedPct = 100 * float64(countReadable(kv, client, keys)) / float64(cfg.Items)
+	return row, nil
+}
+
+func countReadable(kv *store.Store, client overlay.NodeID, keys []hashkey.Key) int {
+	readable := 0
+	for _, k := range keys {
+		if _, err := kv.Get(client, k); err == nil {
+			readable++
+		}
+	}
+	return readable
+}
+
+// RenderDataChurn produces the comparison table.
+func RenderDataChurn(rows []DataChurnRow) string {
+	t := metrics.NewTable("design", "availability during movement (%)", "transfers/move", "after repair (%)")
+	for _, r := range rows {
+		t.AddRow(r.Design, r.AvailabilityPct, r.TransfersPerMove, r.RepairedPct)
+	}
+	return "Stored-data mobility cost (§1): availability and repair traffic under movement\n" + t.String()
+}

@@ -1,0 +1,535 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small-scale configs keep the test suite fast while still exhibiting the
+// paper's qualitative shapes.
+
+func smallFig7() Fig7Config {
+	return Fig7Config{
+		Stationary:  120,
+		MobileFracs: []float64{0, 0.3, 0.5, 0.8},
+		Routes:      250,
+		Routers:     400,
+		Seed:        1,
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	rows, err := RunFig7(smallFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+
+	// At M/N = 0 both schemes are identical: RDP ≈ 1.
+	if r := rows[0]; r.RDPHops < 0.9 || r.RDPHops > 1.1 {
+		t.Errorf("RDP at M/N=0 should be ≈1, got %v", r.RDPHops)
+	}
+
+	// Scrambled hops grow with the mobile fraction.
+	if rows[3].ScrambledHops <= rows[0].ScrambledHops {
+		t.Errorf("scrambled hops did not grow: %v → %v",
+			rows[0].ScrambledHops, rows[3].ScrambledHops)
+	}
+
+	// Clustered ≤ scrambled everywhere (the headline claim).
+	for _, r := range rows {
+		if r.ClusteredHops > r.ScrambledHops*1.05 {
+			t.Errorf("M/N=%v: clustered hops %v exceed scrambled %v",
+				r.MobileFrac, r.ClusteredHops, r.ScrambledHops)
+		}
+	}
+
+	// Up to M/N = 50% the clustered scheme needs essentially no
+	// discoveries on stationary-to-stationary routes (Equation 1).
+	for _, r := range rows[:3] {
+		if r.ClusteredDisc > 0.05 {
+			t.Errorf("M/N=%v: clustered discoveries/route = %v, want ≈0",
+				r.MobileFrac, r.ClusteredDisc)
+		}
+	}
+
+	// The knee: RDP at 80% mobile clearly exceeds RDP at 0%.
+	if rows[3].RDPHops < 1.5 {
+		t.Errorf("RDP at M/N=80%% = %v, expected a clear penalty", rows[3].RDPHops)
+	}
+
+	out := RenderFig7(rows)
+	if !strings.Contains(out, "Figure 7(a)") || !strings.Contains(out, "Figure 7(b)") {
+		t.Error("RenderFig7 missing sections")
+	}
+}
+
+func TestFig7OnChordSubstrate(t *testing.T) {
+	cfg := smallFig7()
+	cfg.Substrate = "chord"
+	cfg.MobileFracs = []float64{0, 0.5, 0.8}
+	rows, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline comparison holds on Chord too: clustered naming never
+	// does worse than scrambled, and scrambled degrades with mobility.
+	for _, r := range rows {
+		if r.ClusteredHops > r.ScrambledHops*1.1 {
+			t.Errorf("chord M/N=%v: clustered %v above scrambled %v",
+				r.MobileFrac, r.ClusteredHops, r.ScrambledHops)
+		}
+	}
+	if rows[2].ScrambledHops <= rows[0].ScrambledHops {
+		t.Error("chord scrambled hops did not grow with mobility")
+	}
+	if rows[2].RDPHops < 1.3 {
+		t.Errorf("chord RDP at 80%% = %v, expected a clear penalty", rows[2].RDPHops)
+	}
+}
+
+func TestFig7UnknownSubstrate(t *testing.T) {
+	cfg := smallFig7()
+	cfg.Substrate = "pastry"
+	if _, err := RunFig7(cfg); err == nil {
+		t.Error("unknown substrate accepted")
+	}
+}
+
+func TestFig7Validation(t *testing.T) {
+	cfg := smallFig7()
+	cfg.MobileFracs = []float64{1.0}
+	if _, err := RunFig7(cfg); err == nil {
+		t.Error("mobile fraction 1.0 accepted")
+	}
+	cfg = smallFig7()
+	cfg.Stationary = 1
+	if _, err := RunFig7(cfg); err == nil {
+		t.Error("single stationary peer accepted")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	cfg := Fig3Config{
+		AnalyticN:   1 << 20,
+		EmpiricalN:  256,
+		MobileFracs: []float64{0.2, 0.5, 0.8},
+		Routers:     300,
+		Seed:        3,
+	}
+	rows, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		// Non-member-only is log N × member-only analytically.
+		if r.AnalyticNonMemberOnly <= r.AnalyticMemberOnly {
+			t.Errorf("analytic non-member must exceed member-only at %v", r.MobileFrac)
+		}
+		// Empirically the non-member design also costs strictly more.
+		if r.EmpiricalNonMemberOnly <= r.EmpiricalMemberOnly {
+			t.Errorf("empirical non-member %v not above member-only %v at M/N=%v",
+				r.EmpiricalNonMemberOnly, r.EmpiricalMemberOnly, r.MobileFrac)
+		}
+		// Both grow with M/N.
+		if i > 0 {
+			if r.AnalyticMemberOnly <= rows[i-1].AnalyticMemberOnly {
+				t.Error("analytic member-only not increasing in M/N")
+			}
+			if r.EmpiricalNonMemberOnly <= rows[i-1].EmpiricalNonMemberOnly {
+				t.Error("empirical non-member not increasing in M/N")
+			}
+		}
+	}
+	// The blow-up: at 80% the non-member responsibility is much larger
+	// than at 20% (paper: "increases exponentially").
+	if rows[2].AnalyticNonMemberOnly < 10*rows[0].AnalyticNonMemberOnly {
+		t.Error("non-member responsibility does not blow up with M/N")
+	}
+	if !strings.Contains(RenderFig3(rows), "Figure 3") {
+		t.Error("RenderFig3 missing title")
+	}
+}
+
+func TestFig3Validation(t *testing.T) {
+	cfg := DefaultFig3()
+	cfg.EmpiricalN = 2
+	if _, err := RunFig3(cfg); err == nil {
+		t.Error("tiny EmpiricalN accepted")
+	}
+	cfg = DefaultFig3()
+	cfg.MobileFracs = []float64{0}
+	if _, err := RunFig3(cfg); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	cfg := Fig8Config{
+		Nodes:        25000,
+		RegistrySize: 15,
+		MaxCapacity:  15,
+		Trees:        300,
+		SampleTrees:  15,
+		Seed:         8,
+	}
+	res, err := RunFig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 15 {
+		t.Fatalf("levels rows = %d", len(res.Levels))
+	}
+
+	// MAX=1 ⇒ every node has capacity 1 ⇒ chains of depth 16.
+	if res.Levels[0].MaxDepth != 16 {
+		t.Errorf("MAX=1 max depth = %d, want 16 (chain)", res.Levels[0].MaxDepth)
+	}
+	// Depth shrinks as capacity grows.
+	if res.Levels[14].MeanDepth >= res.Levels[0].MeanDepth {
+		t.Errorf("mean depth did not shrink: MAX=1 %.2f vs MAX=15 %.2f",
+			res.Levels[0].MeanDepth, res.Levels[14].MeanDepth)
+	}
+	if res.Levels[14].MeanDepth > 6 {
+		t.Errorf("MAX=15 mean depth %.2f too deep for 16-member trees", res.Levels[14].MeanDepth)
+	}
+
+	// Level percentages sum to ~100 for each MAX.
+	for _, r := range res.Levels {
+		sum := 0.0
+		for _, p := range r.LevelPercent {
+			sum += p
+		}
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("MAX=%d level percentages sum to %v", r.MaxCapacity, sum)
+		}
+	}
+
+	// Figure 8(b): 15 trees × 16 members.
+	if len(res.Nodes) != 15*16 {
+		t.Fatalf("node rows = %d, want 240", len(res.Nodes))
+	}
+	// Load concentrates on the most capable members. The root always has
+	// the full registry assigned regardless of its capacity (it initiates
+	// the advertisement), so it is excluded; aggregate over all sampled
+	// trees to smooth per-tree tie noise.
+	topLoad, botLoad := 0, 0
+	perTreeCount := 0
+	for _, nr := range res.Nodes {
+		if nr.Tree == 0 {
+			perTreeCount++
+		}
+	}
+	for _, nr := range res.Nodes {
+		if nr.IsRoot {
+			continue
+		}
+		if nr.NodeRank <= perTreeCount/2 {
+			topLoad += nr.Assigned
+		} else {
+			botLoad += nr.Assigned
+		}
+	}
+	if topLoad <= botLoad {
+		t.Errorf("low-capacity members carry more aggregate load (%d vs %d)", botLoad, topLoad)
+	}
+	if !strings.Contains(RenderFig8(res), "Figure 8(a)") {
+		t.Error("RenderFig8 missing section")
+	}
+}
+
+func TestFig8WorkloadDeepensTrees(t *testing.T) {
+	// Figure 8(a)'s qualitative claim at fixed capacities: heavier present
+	// workload (higher Used) reduces Avail and lengthens trees.
+	base := Fig8Config{
+		Nodes: 25000, RegistrySize: 15, MaxCapacity: 8,
+		Trees: 200, SampleTrees: 1, Seed: 8,
+	}
+	idle, err := RunFig8(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := base
+	busy.UsedFraction = 0.7
+	loaded, err := RunFig8(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare mean depth at the top capacity point.
+	idleDepth := idle.Levels[len(idle.Levels)-1].MeanDepth
+	loadedDepth := loaded.Levels[len(loaded.Levels)-1].MeanDepth
+	if loadedDepth <= idleDepth {
+		t.Fatalf("70%% workload did not deepen trees: %.2f vs %.2f", loadedDepth, idleDepth)
+	}
+}
+
+func TestFig8Validation(t *testing.T) {
+	cfg := DefaultFig8()
+	cfg.Trees = 0
+	if _, err := RunFig8(cfg); err == nil {
+		t.Error("zero trees accepted")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	cfg := Fig9Config{
+		Routers:       500,
+		Fracs:         []float64{0.2, 0.6, 1.0},
+		RegistrySize:  10,
+		CandidateFrac: 0.15,
+		MaxCapacity:   15,
+		Seed:          9,
+	}
+	rows, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Locality always helps (paper observation 1).
+		if r.WithLocality >= r.WithoutLocality {
+			t.Errorf("density %v: locality %v not below random %v",
+				r.Frac, r.WithLocality, r.WithoutLocality)
+		}
+	}
+	// Locality improves (per-edge cost drops) as density grows
+	// (observation 3), while the non-locality cost stays roughly flat
+	// (observation 2: within 15% across densities).
+	if rows[2].WithLocality >= rows[0].WithLocality {
+		t.Errorf("with-locality cost did not drop with density: %v → %v",
+			rows[0].WithLocality, rows[2].WithLocality)
+	}
+	flat := rows[2].WithoutLocality / rows[0].WithoutLocality
+	if flat < 0.85 || flat > 1.15 {
+		t.Errorf("without-locality cost not flat across densities: ratio %v", flat)
+	}
+	if !strings.Contains(RenderFig9(rows), "Figure 9") {
+		t.Error("RenderFig9 missing title")
+	}
+}
+
+func TestFig9Validation(t *testing.T) {
+	cfg := DefaultFig9()
+	cfg.CandidateFrac = 0
+	if _, err := RunFig9(cfg); err == nil {
+		t.Error("zero candidate fraction accepted")
+	}
+}
+
+func TestDataChurnShapes(t *testing.T) {
+	cfg := DataChurnConfig{
+		Stationary:  80,
+		Mobile:      50,
+		Items:       150,
+		Replication: 3,
+		Rounds:      2,
+		Routers:     400,
+		Seed:        13,
+	}
+	rows, err := RunDataChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]DataChurnRow{}
+	for _, r := range rows {
+		byName[r.Design] = r
+	}
+	a, b := byName["Type A"], byName["Bristle"]
+
+	// Bristle: key-preserving movement displaces nothing.
+	if b.TransfersPerMove != 0 {
+		t.Errorf("Bristle transfers/move = %v, want 0", b.TransfersPerMove)
+	}
+	if b.AvailabilityPct != 100 || b.RepairedPct != 100 {
+		t.Errorf("Bristle availability %v/%v, want 100/100", b.AvailabilityPct, b.RepairedPct)
+	}
+	// Type A: movement re-keys nodes ⇒ transfers and an availability dip.
+	if a.TransfersPerMove <= 0 {
+		t.Errorf("Type A transfers/move = %v, want >0", a.TransfersPerMove)
+	}
+	if a.AvailabilityPct >= 100 {
+		t.Errorf("Type A availability %v, expected a dip during movement", a.AvailabilityPct)
+	}
+	if !strings.Contains(RenderDataChurn(rows), "Stored-data") {
+		t.Error("RenderDataChurn missing title")
+	}
+}
+
+func TestDataChurnValidation(t *testing.T) {
+	if _, err := RunDataChurn(DataChurnConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestScalingShapes(t *testing.T) {
+	cfg := ScalingConfig{Sizes: []int{128, 512, 2048}, Routes: 200, Seed: 12}
+	rows, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 substrates × 3 sizes)", len(rows))
+	}
+	for _, r := range rows {
+		// O(log N): hops per log2(N) stays bounded (≤2) at every size.
+		if r.HopsPerLog > 2 {
+			t.Errorf("%s N=%d: hops/log = %v", r.Substrate, r.N, r.HopsPerLog)
+		}
+		// State stays O(log N) too.
+		if float64(r.MaxState) > 8*mathLog2(r.N) {
+			t.Errorf("%s N=%d: max state %d", r.Substrate, r.N, r.MaxState)
+		}
+	}
+	if !strings.Contains(RenderScaling(rows), "Scaling validation") {
+		t.Error("RenderScaling missing title")
+	}
+}
+
+func TestScalingValidation(t *testing.T) {
+	if _, err := RunScaling(ScalingConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := RunScaling(ScalingConfig{Sizes: []int{1}, Routes: 10}); err == nil {
+		t.Error("size 1 accepted")
+	}
+}
+
+func mathLog2(n int) float64 {
+	l := 0.0
+	for v := 1; v < n; v *= 2 {
+		l++
+	}
+	return l
+}
+
+func TestEq1Shapes(t *testing.T) {
+	cfg := Eq1Config{
+		Stationary:  150,
+		MobileFracs: []float64{0.2, 0.5, 0.8},
+		Routes:      400,
+		Routers:     400,
+		Seed:        6,
+	}
+	rows, err := RunEq1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shorter, prefer, unopt float64
+	for _, r := range rows {
+		shorter += r.ShorterArc
+		prefer += r.UniPreferring
+		unopt += r.UniUnoptimized
+		// Shorter-arc routing under clustered naming needs no resolutions
+		// once the stationary arc is at most half the ring.
+		if r.MobileFrac >= 0.5 && r.ShorterArc > 0.01 {
+			t.Errorf("M/N=%v: shorter-arc disc/route = %v, want ≈0", r.MobileFrac, r.ShorterArc)
+		}
+	}
+	// Ordering: the unoptimized unidirectional discipline pays the most;
+	// stationary-preference and shorter-arc selection each reduce it.
+	if unopt <= prefer {
+		t.Errorf("unoptimized (%v) should exceed preferring (%v)", unopt, prefer)
+	}
+	if unopt <= shorter {
+		t.Errorf("unoptimized (%v) should exceed shorter-arc (%v)", unopt, shorter)
+	}
+	// Even the worst case stays far below one resolution per route — the
+	// Eq. (1) bound is pessimistic for log-spaced finger tables.
+	if unopt/float64(len(rows)) > 0.5 {
+		t.Errorf("worst-case discipline resolves %v/route on average; expected ≪1", unopt/float64(len(rows)))
+	}
+	if !strings.Contains(RenderEq1(rows), "Equation (1)") {
+		t.Error("RenderEq1 missing title")
+	}
+}
+
+func TestEq1Validation(t *testing.T) {
+	cfg := DefaultEq1()
+	cfg.MobileFracs = []float64{0}
+	if _, err := RunEq1(cfg); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	cfg = DefaultEq1()
+	cfg.Stationary = 1
+	if _, err := RunEq1(cfg); err == nil {
+		t.Error("single stationary accepted")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	cfg := Table1Config{
+		Stationary:   120,
+		Mobile:       60,
+		Sessions:     150,
+		Rounds:       3,
+		FailFraction: 0.2,
+		Routers:      400,
+		Seed:         42,
+	}
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Design] = r
+	}
+	a, b, br := byName["Type A"], byName["Type B"], byName["Bristle"]
+
+	// End-to-end semantics: Type A loses every session after the first
+	// move; Bristle and Type B keep delivering.
+	if a.DeliveryPct > 5 {
+		t.Errorf("Type A delivery %v%%, expected ≈0 (broken end-to-end)", a.DeliveryPct)
+	}
+	if br.DeliveryPct < 95 {
+		t.Errorf("Bristle delivery %v%%, expected ≈100", br.DeliveryPct)
+	}
+	if b.DeliveryPct < 95 {
+		t.Errorf("Type B delivery %v%%, expected ≈100", b.DeliveryPct)
+	}
+
+	// Reliability: Bristle degrades gracefully under stationary-peer loss;
+	// Type B loses exactly the sessions whose home agents died.
+	if br.DeliveryAfterFailPct < 90 {
+		t.Errorf("Bristle delivery after failures %v%%, expected graceful", br.DeliveryAfterFailPct)
+	}
+	if b.DeliveryAfterFailPct >= b.DeliveryPct {
+		t.Errorf("Type B should lose deliveries after HA failures: %v → %v",
+			b.DeliveryPct, b.DeliveryAfterFailPct)
+	}
+	if br.DeliveryAfterFailPct <= b.DeliveryAfterFailPct {
+		t.Errorf("Bristle (%v%%) should out-survive Type B (%v%%)",
+			br.DeliveryAfterFailPct, b.DeliveryAfterFailPct)
+	}
+
+	// Performance: Type B pays the triangular penalty; Bristle's penalty
+	// should be lower.
+	if b.CostPenalty <= 1 {
+		t.Errorf("Type B cost penalty %v, expected >1 (triangular)", b.CostPenalty)
+	}
+	if br.CostPenalty >= b.CostPenalty {
+		t.Errorf("Bristle penalty %v not below Type B %v", br.CostPenalty, b.CostPenalty)
+	}
+
+	// End-to-end flags match Table 1.
+	if a.EndToEnd || !br.EndToEnd || !b.EndToEnd {
+		t.Error("end-to-end flags wrong")
+	}
+
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Bristle") || !strings.Contains(out, "Type A") {
+		t.Error("RenderTable1 missing designs")
+	}
+}
+
+func TestTable1Validation(t *testing.T) {
+	cfg := DefaultTable1()
+	cfg.Mobile = 1
+	if _, err := RunTable1(cfg); err == nil {
+		t.Error("tiny population accepted")
+	}
+}

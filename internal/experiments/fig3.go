@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bristle/internal/core"
+	"bristle/internal/ldt"
+	"bristle/internal/metrics"
+	"bristle/internal/overlay"
+)
+
+// Fig3Config parameterizes the LDT responsibility comparison of Figure 3:
+// member-only vs non-member-only trees as the mobile fraction grows.
+//
+// The analytic curves use the paper's N = 1,048,576. The empirical part
+// measures the same quantity on a simulated instance: how many
+// location-forwarding duties land on each stationary peer when trees are
+// built from members only versus from the stationary routes between
+// members and the root.
+type Fig3Config struct {
+	AnalyticN   float64   // N for the analytic curves (paper: 2^20)
+	EmpiricalN  int       // simulated population for the empirical check
+	MobileFracs []float64 // M/N sweep
+	Routers     int
+	Seed        int64
+}
+
+// DefaultFig3 returns the standard configuration.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		AnalyticN:   1 << 20,
+		EmpiricalN:  1024,
+		MobileFracs: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+		Routers:     600,
+		Seed:        3,
+	}
+}
+
+// Fig3Row is one sweep point.
+type Fig3Row struct {
+	MobileFrac float64
+	// Analytic responsibilities at AnalyticN (the paper's curves).
+	AnalyticMemberOnly    float64
+	AnalyticNonMemberOnly float64
+	// Empirical responsibilities measured on the simulated instance:
+	// stationary-layer load entries per stationary peer.
+	EmpiricalMemberOnly    float64
+	EmpiricalNonMemberOnly float64
+}
+
+// RunFig3 computes the analytic curves and measures the empirical
+// responsibilities.
+func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
+	if cfg.EmpiricalN < 8 {
+		return nil, fmt.Errorf("experiments: EmpiricalN too small")
+	}
+	rows := make([]Fig3Row, 0, len(cfg.MobileFracs))
+	for i, frac := range cfg.MobileFracs {
+		if frac <= 0 || frac >= 1 {
+			return nil, fmt.Errorf("experiments: mobile fraction %v out of (0,1)", frac)
+		}
+		m := cfg.AnalyticN * frac
+		row := Fig3Row{
+			MobileFrac:            frac,
+			AnalyticMemberOnly:    ldt.ResponsibilityMemberOnly(cfg.AnalyticN, m),
+			AnalyticNonMemberOnly: ldt.ResponsibilityNonMemberOnly(cfg.AnalyticN, m),
+		}
+		memb, nonMemb, err := fig3Empirical(cfg, frac, cfg.Seed+int64(i)*100)
+		if err != nil {
+			return nil, err
+		}
+		row.EmpiricalMemberOnly = memb
+		row.EmpiricalNonMemberOnly = nonMemb
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// fig3Empirical builds a Bristle instance and counts the per-stationary
+// load of both designs.
+//
+// Member-only: stationary peers carry only the published location records
+// and the registrations mobile peers place on them (O(M/(N−M)·log N)).
+//
+// Non-member-only: each mobile peer's tree additionally recruits the
+// stationary forwarders along the stationary-layer routes from each
+// registry member's entry point to the root's key — the
+// O(log N)×O(log N) construction analyzed in Section 2.3. We count each
+// forwarding appearance as one unit of responsibility.
+func fig3Empirical(cfg Fig3Config, frac float64, seed int64) (memberOnly, nonMemberOnly float64, err error) {
+	net, err := newUnderlay(cfg.Routers, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	mobile := int(float64(cfg.EmpiricalN) * frac)
+	stationaryN := cfg.EmpiricalN - mobile
+	if stationaryN < 2 {
+		return 0, 0, fmt.Errorf("experiments: fraction %v leaves <2 stationary", frac)
+	}
+	rng := rand.New(rand.NewSource(seed + 11))
+	bn := core.NewNetwork(core.Config{
+		Naming:            core.Scrambled,
+		Overlay:           overlay.DefaultConfig(),
+		ReplicationFactor: 1,
+		UnitCost:          1,
+	}, net, nil, rng)
+	for i := 0; i < stationaryN; i++ {
+		if _, err := bn.AddPeer(core.Stationary, drawCapacity(rng, 15)); err != nil {
+			return 0, 0, err
+		}
+	}
+	var mobiles []*core.Peer
+	for i := 0; i < mobile; i++ {
+		p, err := bn.AddPeer(core.Mobile, drawCapacity(rng, 15))
+		if err != nil {
+			return 0, 0, err
+		}
+		mobiles = append(mobiles, p)
+	}
+	bn.RefreshEntries()
+	bn.BuildRegistries()
+
+	// Member-only load: location records + registrations held on
+	// stationary peers for mobile peers.
+	memberLoad := 0.0
+	for _, p := range mobiles {
+		if _, err := bn.PublishLocation(p); err != nil {
+			return 0, 0, err
+		}
+		for _, r := range p.Registry() {
+			if r.Kind == core.Stationary {
+				memberLoad++ // a stationary peer tracks this mobile peer
+			}
+		}
+	}
+	for _, p := range bn.Peers() {
+		if p.Kind == core.Stationary {
+			memberLoad += float64(core.StoreSize(p))
+		}
+	}
+
+	// Non-member-only load: stationary forwarders on the routes from each
+	// registry member's entry to the mobile root's key.
+	nonMemberLoad := memberLoad
+	for _, p := range mobiles {
+		for _, r := range p.Registry() {
+			entry := r
+			if entry.Kind != core.Stationary {
+				// Mobile members inject through their stationary entry.
+				entry = bn.LookupStationary(r.Key)
+			}
+			res, rerr := bn.StationaryRing.Route(entry.StatRingID, p.Key, nil)
+			if rerr != nil {
+				return 0, 0, rerr
+			}
+			nonMemberLoad += float64(res.NumHops()) // each forwarder holds tree state
+		}
+	}
+
+	denom := float64(stationaryN)
+	return memberLoad / denom, nonMemberLoad / denom, nil
+}
+
+// RenderFig3 produces the paper-style table.
+func RenderFig3(rows []Fig3Row) string {
+	t := metrics.NewTable("M/N (%)", "analytic member-only", "analytic non-member",
+		"empirical member-only", "empirical non-member")
+	for _, r := range rows {
+		t.AddRow(r.MobileFrac*100, r.AnalyticMemberOnly, r.AnalyticNonMemberOnly,
+			r.EmpiricalMemberOnly, r.EmpiricalNonMemberOnly)
+	}
+	return "Figure 3: per-stationary-node responsibility, member-only vs non-member-only LDTs\n" + t.String()
+}

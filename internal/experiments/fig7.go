@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bristle/internal/chord"
+	"bristle/internal/core"
+	"bristle/internal/metrics"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+)
+
+// Fig7Config parameterizes the state-discovery experiment of Section 4.1:
+// routes between random stationary pairs under the scrambled vs clustered
+// naming schemes, for a sweep of mobile fractions.
+//
+// Paper parameters: 2,000 stationary nodes, M = 0..8,000 mobile
+// (M/N = 0..80%), 10,000 sample routes, transit-stub underlay. The
+// defaults scale this down ~4× for laptop runs; pass the paper's values to
+// reproduce at full scale.
+type Fig7Config struct {
+	Stationary  int       // number of stationary peers (paper: 2000)
+	MobileFracs []float64 // M/N values to sweep (paper: 0, 0.1, ..., 0.8)
+	Routes      int       // sample routes per point (paper: 10000)
+	Routers     int       // approximate underlay router count
+	Seed        int64
+	// Substrate selects the overlay both layers run on: "" or "ring" for
+	// the Tornado-style bidirectional ring, "chord" for the unidirectional
+	// Chord substrate (the generality claim of the paper's conclusion).
+	Substrate string
+}
+
+// DefaultFig7 returns the laptop-scale configuration.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		Stationary:  500,
+		MobileFracs: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+		Routes:      2000,
+		Routers:     1200,
+		Seed:        1,
+	}
+}
+
+// PaperFig7 returns the paper's full-scale parameters.
+func PaperFig7() Fig7Config {
+	return Fig7Config{
+		Stationary:  2000,
+		MobileFracs: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+		Routes:      10000,
+		Routers:     2600,
+		Seed:        1,
+	}
+}
+
+// Fig7Row is one sweep point: mean application-level hops and mean actual
+// path cost per route for both naming schemes, plus the two RDP series of
+// Figure 7(b).
+type Fig7Row struct {
+	MobileFrac    float64
+	ScrambledHops float64
+	ClusteredHops float64
+	ScrambledCost float64
+	ClusteredCost float64
+	RDPHops       float64 // scrambled/clustered, application-level hops
+	RDPCost       float64 // scrambled/clustered, actual path cost
+	ScrambledDisc float64 // mean discoveries per route (diagnostic)
+	ClusteredDisc float64
+}
+
+// RunFig7 executes the experiment and returns one row per mobile fraction.
+func RunFig7(cfg Fig7Config) ([]Fig7Row, error) {
+	if cfg.Stationary < 2 {
+		return nil, fmt.Errorf("experiments: need ≥2 stationary peers")
+	}
+	rows := make([]Fig7Row, 0, len(cfg.MobileFracs))
+	for i, frac := range cfg.MobileFracs {
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("experiments: mobile fraction %v out of [0,1)", frac)
+		}
+		seed := cfg.Seed + int64(i)*1000
+		sHops, sCost, sDisc, err := fig7Point(cfg, core.Scrambled, frac, seed)
+		if err != nil {
+			return nil, fmt.Errorf("scrambled M/N=%v: %w", frac, err)
+		}
+		cHops, cCost, cDisc, err := fig7Point(cfg, core.Clustered, frac, seed)
+		if err != nil {
+			return nil, fmt.Errorf("clustered M/N=%v: %w", frac, err)
+		}
+		rows = append(rows, Fig7Row{
+			MobileFrac:    frac,
+			ScrambledHops: sHops.Mean(),
+			ClusteredHops: cHops.Mean(),
+			ScrambledCost: sCost.Mean(),
+			ClusteredCost: cCost.Mean(),
+			RDPHops:       metrics.RDP(sHops.Mean(), cHops.Mean()),
+			RDPCost:       metrics.RDP(sCost.Mean(), cCost.Mean()),
+			ScrambledDisc: sDisc.Mean(),
+			ClusteredDisc: cDisc.Mean(),
+		})
+	}
+	return rows, nil
+}
+
+// fig7Point builds one Bristle network and measures cfg.Routes random
+// stationary-to-stationary routes.
+func fig7Point(cfg Fig7Config, naming core.Naming, frac float64, seed int64) (hops, cost, disc *metrics.Sample, err error) {
+	net, err := newUnderlay(cfg.Routers, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mobile := int(float64(cfg.Stationary) / (1 - frac) * frac)
+	total := cfg.Stationary + mobile
+
+	rng := rand.New(rand.NewSource(seed + 7))
+	bcfg := core.Config{
+		Naming:             naming,
+		StationaryFraction: float64(cfg.Stationary) / float64(total),
+		Overlay:            overlay.DefaultConfig(),
+		ReplicationFactor:  1,
+		UnitCost:           1,
+		CacheResolved:      false, // measure steady-state per-route resolution
+	}
+	switch cfg.Substrate {
+	case "", "ring":
+	case "chord":
+		bcfg.NewSubstrate = func(oc overlay.Config, sn *simnet.Network) core.Substrate {
+			return chord.New(chord.FromOverlayConfig(oc), sn)
+		}
+	default:
+		return nil, nil, nil, fmt.Errorf("experiments: unknown substrate %q", cfg.Substrate)
+	}
+	bn := core.NewNetwork(bcfg, net, nil, rng)
+	for i := 0; i < cfg.Stationary; i++ {
+		if _, err := bn.AddPeer(core.Stationary, drawCapacity(rng, 15)); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var mobiles []*core.Peer
+	for i := 0; i < mobile; i++ {
+		p, err := bn.AddPeer(core.Mobile, drawCapacity(rng, 15))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		mobiles = append(mobiles, p)
+	}
+	bn.RefreshEntries()
+
+	// Section 4.1 setup: every mobile node has moved and advertises its
+	// location only to the stationary layer.
+	for _, p := range mobiles {
+		bn.MoveSilently(p)
+		if _, err := bn.PublishLocation(p); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	var stationary []*core.Peer
+	for _, p := range bn.Peers() {
+		if p.Kind == core.Stationary {
+			stationary = append(stationary, p)
+		}
+	}
+
+	hops, cost, disc = &metrics.Sample{}, &metrics.Sample{}, &metrics.Sample{}
+	for i := 0; i < cfg.Routes; i++ {
+		src := stationary[rng.Intn(len(stationary))]
+		dst := stationary[rng.Intn(len(stationary))]
+		if src.ID == dst.ID {
+			i--
+			continue
+		}
+		rs, err := bn.RouteData(src, dst.Key)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("route %d: %w", i, err)
+		}
+		hops.Add(float64(rs.TotalHops))
+		cost.Add(rs.Cost)
+		disc.Add(float64(rs.Discoveries))
+	}
+	return hops, cost, disc, nil
+}
+
+// RenderFig7 produces the two paper-style tables (7a hops, 7b RDP).
+func RenderFig7(rows []Fig7Row) string {
+	ta := metrics.NewTable("M/N (%)", "scrambled hops", "clustered hops", "scrambled cost", "clustered cost")
+	tb := metrics.NewTable("M/N (%)", "RDP hops", "RDP path cost", "disc/route scrambled", "disc/route clustered")
+	for _, r := range rows {
+		pct := r.MobileFrac * 100
+		ta.AddRow(pct, r.ScrambledHops, r.ClusteredHops, r.ScrambledCost, r.ClusteredCost)
+		tb.AddRow(pct, r.RDPHops, r.RDPCost, r.ScrambledDisc, r.ClusteredDisc)
+	}
+	return "Figure 7(a): application-level hops per route\n" + ta.String() +
+		"\nFigure 7(b): relative delay penalty (scrambled/clustered)\n" + tb.String()
+}

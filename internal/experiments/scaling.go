@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bristle/internal/chord"
+	"bristle/internal/core"
+	"bristle/internal/hashkey"
+	"bristle/internal/metrics"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+)
+
+// ScalingConfig parameterizes the O(log N) validation of the paper's
+// §2.3.2 properties: per-node routing state (scalability), route hops
+// (responsiveness), and registry/LDT size — across a population sweep,
+// for both substrates.
+type ScalingConfig struct {
+	Sizes  []int // populations to sweep
+	Routes int   // sample routes per point
+	Seed   int64
+}
+
+// DefaultScaling returns the laptop-scale configuration.
+func DefaultScaling() ScalingConfig {
+	return ScalingConfig{
+		Sizes:  []int{128, 256, 512, 1024, 2048, 4096},
+		Routes: 500,
+		Seed:   12,
+	}
+}
+
+// ScalingRow is one population point for one substrate.
+type ScalingRow struct {
+	Substrate  string
+	N          int
+	MeanHops   float64
+	P99Hops    float64
+	MeanState  float64
+	MaxState   int
+	HopsPerLog float64 // MeanHops / log2(N): flat ⇒ O(log N) confirmed
+}
+
+// RunScaling measures both substrates across the size sweep.
+func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
+	if len(cfg.Sizes) == 0 || cfg.Routes < 1 {
+		return nil, fmt.Errorf("experiments: invalid scaling config %+v", cfg)
+	}
+	var rows []ScalingRow
+	for _, substrate := range []string{"ring", "chord"} {
+		for i, n := range cfg.Sizes {
+			if n < 2 {
+				return nil, fmt.Errorf("experiments: size %d too small", n)
+			}
+			row, err := scalingPoint(substrate, n, cfg.Routes, cfg.Seed+int64(i)*37)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func scalingPoint(substrate string, n, routes int, seed int64) (ScalingRow, error) {
+	row := ScalingRow{Substrate: substrate, N: n}
+	rng := rand.New(rand.NewSource(seed))
+
+	var sub core.Substrate
+	switch substrate {
+	case "ring":
+		sub = overlay.NewRing(overlay.DefaultConfig(), nil)
+	case "chord":
+		sub = chord.New(chord.DefaultConfig(), nil)
+	default:
+		return row, fmt.Errorf("experiments: unknown substrate %q", substrate)
+	}
+	for i := 0; i < n; i++ {
+		for {
+			if _, err := sub.AddNode(hashkey.Random(rng), simnet.NoHost); err == nil {
+				break
+			}
+		}
+	}
+	refs := sub.Refs()
+
+	hops := &metrics.Sample{}
+	for i := 0; i < routes; i++ {
+		src := refs[rng.Intn(len(refs))]
+		res, err := sub.Route(src.ID, hashkey.Random(rng), nil)
+		if err != nil {
+			return row, err
+		}
+		hops.Add(float64(res.NumHops()))
+	}
+	state := &metrics.Sample{}
+	maxState := 0
+	for _, r := range refs {
+		s := sub.StateSizeOf(r.ID)
+		state.Add(float64(s))
+		if s > maxState {
+			maxState = s
+		}
+	}
+	row.MeanHops = hops.Mean()
+	row.P99Hops = hops.Percentile(99)
+	row.MeanState = state.Mean()
+	row.MaxState = maxState
+	row.HopsPerLog = row.MeanHops / math.Log2(float64(n))
+	return row, nil
+}
+
+// RenderScaling produces the validation table.
+func RenderScaling(rows []ScalingRow) string {
+	t := metrics.NewTable("substrate", "N", "mean hops", "p99 hops", "hops/log2(N)", "mean state", "max state")
+	for _, r := range rows {
+		t.AddRow(r.Substrate, r.N, r.MeanHops, r.P99Hops, r.HopsPerLog, r.MeanState, r.MaxState)
+	}
+	return "Scaling validation (§2.3.2): O(log N) route hops and per-node state\n" + t.String()
+}

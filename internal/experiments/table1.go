@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bristle/internal/baseline"
+	"bristle/internal/core"
+	"bristle/internal/metrics"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+)
+
+// Table1Config parameterizes the quantitative re-derivation of the
+// paper's Table 1: Type A (leave+rejoin over IP), Type B (HS-P2P over
+// Mobile IP) and Bristle compared on the same underlay and workload.
+type Table1Config struct {
+	Stationary int // stationary peers / correspondents
+	Mobile     int // mobile peers (session targets)
+	Sessions   int // correspondent→mobile sessions
+	Rounds     int // movement rounds; each mobile moves once per round
+	// FailFraction of the supporting infrastructure is killed before the
+	// final round: home agents for Type B, stationary peers for Bristle
+	// (Type A has no infrastructure to fail).
+	FailFraction float64
+	Routers      int
+	Seed         int64
+}
+
+// DefaultTable1 returns the laptop-scale configuration.
+func DefaultTable1() Table1Config {
+	return Table1Config{
+		Stationary:   300,
+		Mobile:       150,
+		Sessions:     400,
+		Rounds:       4,
+		FailFraction: 0.1,
+		Routers:      1000,
+		Seed:         42,
+	}
+}
+
+// Table1Row is one design's measured behaviour.
+type Table1Row struct {
+	Design         string
+	Infrastructure string
+	// DeliveryPct is the fraction of session messages delivered across
+	// movement rounds (end-to-end semantics in practice).
+	DeliveryPct float64
+	// DeliveryAfterFailPct is the delivery rate after FailFraction of the
+	// design's supporting infrastructure fails (reliability).
+	DeliveryAfterFailPct float64
+	// CostPenalty is mean delivered cost / direct path cost (performance).
+	CostPenalty float64
+	// MaintPerMove is the mean maintenance messages per movement
+	// (scalability of mobility handling).
+	MaintPerMove float64
+	// EndToEnd reports whether the design preserves end-to-end semantics
+	// (a correspondent can keep addressing the peer it opened a session
+	// with).
+	EndToEnd bool
+}
+
+// RunTable1 builds all three systems and drives the same movement/session
+// workload through each.
+func RunTable1(cfg Table1Config) ([]Table1Row, error) {
+	if cfg.Stationary < 10 || cfg.Mobile < 2 {
+		return nil, fmt.Errorf("experiments: population too small: %+v", cfg)
+	}
+	rows := make([]Table1Row, 0, 3)
+
+	bristleRow, err := table1Bristle(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bristle: %w", err)
+	}
+	typeARow, err := table1TypeA(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("type A: %w", err)
+	}
+	typeBRow, err := table1TypeB(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("type B: %w", err)
+	}
+	rows = append(rows, typeARow, typeBRow, bristleRow)
+	return rows, nil
+}
+
+type session struct {
+	src int // index into correspondents
+	dst int // index into mobiles
+}
+
+func table1Sessions(cfg Table1Config, rng *rand.Rand) []session {
+	out := make([]session, cfg.Sessions)
+	for i := range out {
+		out[i] = session{src: rng.Intn(cfg.Stationary), dst: rng.Intn(cfg.Mobile)}
+	}
+	return out
+}
+
+func table1Bristle(cfg Table1Config) (Table1Row, error) {
+	row := Table1Row{Design: "Bristle", Infrastructure: "IP", EndToEnd: true}
+	net, err := newUnderlay(cfg.Routers, cfg.Seed)
+	if err != nil {
+		return row, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	bn := core.NewNetwork(core.Config{
+		Naming:             core.Clustered,
+		StationaryFraction: float64(cfg.Stationary) / float64(cfg.Stationary+cfg.Mobile),
+		Overlay:            overlay.DefaultConfig(),
+		ReplicationFactor:  3,
+		UnitCost:           1,
+		LDTLocality:        true,
+		CacheResolved:      true,
+	}, net, nil, rng)
+
+	var stats, mobiles []*core.Peer
+	for i := 0; i < cfg.Stationary; i++ {
+		p, err := bn.AddPeer(core.Stationary, drawCapacity(rng, 15))
+		if err != nil {
+			return row, err
+		}
+		stats = append(stats, p)
+	}
+	for i := 0; i < cfg.Mobile; i++ {
+		p, err := bn.AddPeer(core.Mobile, drawCapacity(rng, 15))
+		if err != nil {
+			return row, err
+		}
+		mobiles = append(mobiles, p)
+	}
+	bn.RefreshEntries()
+	bn.BuildRegistries()
+	for _, p := range mobiles {
+		if _, err := bn.PublishLocation(p); err != nil {
+			return row, err
+		}
+	}
+
+	sessions := table1Sessions(cfg, rng)
+	// Session start: the correspondent registers its interest (§2.3.1).
+	for _, s := range sessions {
+		bn.Register(stats[s.src], mobiles[s.dst])
+	}
+
+	delivered, attempted := 0, 0
+	costs, directs := &metrics.Sample{}, &metrics.Sample{}
+	maint := &metrics.Sample{}
+	moves := 0
+
+	runRound := func(countInto *int, okInto *int) error {
+		for _, p := range mobiles {
+			bn.MoveSilently(p)
+			us, err := bn.UpdateLocation(p)
+			if err != nil {
+				return err
+			}
+			maint.Add(float64(us.Messages + us.Publish.Hops))
+			moves++
+		}
+		for _, s := range sessions {
+			*countInto++
+			ss, err := bn.SendDirect(stats[s.src], mobiles[s.dst])
+			if err != nil {
+				continue // dropped
+			}
+			*okInto++
+			costs.Add(ss.Cost)
+			directs.Add(ss.DirectCost)
+		}
+		return nil
+	}
+
+	for r := 0; r < cfg.Rounds-1; r++ {
+		if err := runRound(&attempted, &delivered); err != nil {
+			return row, err
+		}
+	}
+
+	// Failure phase: kill FailFraction of the stationary layer.
+	kills := int(cfg.FailFraction * float64(cfg.Stationary))
+	killed := map[int]bool{}
+	for len(killed) < kills {
+		i := rng.Intn(len(stats))
+		if killed[i] {
+			continue
+		}
+		// Keep session sources alive so we measure infrastructure loss,
+		// not correspondent loss.
+		used := false
+		for _, s := range sessions {
+			if s.src == i {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		if err := bn.Leave(stats[i]); err != nil {
+			return row, err
+		}
+		killed[i] = true
+	}
+
+	failAttempted, failDelivered := 0, 0
+	if err := runRound(&failAttempted, &failDelivered); err != nil {
+		return row, err
+	}
+
+	row.DeliveryPct = pct(delivered, attempted)
+	row.DeliveryAfterFailPct = pct(failDelivered, failAttempted)
+	row.CostPenalty = penalty(costs, directs)
+	row.MaintPerMove = maint.Mean()
+	return row, nil
+}
+
+func table1TypeA(cfg Table1Config) (Table1Row, error) {
+	row := Table1Row{Design: "Type A", Infrastructure: "IP", EndToEnd: false}
+	net, err := newUnderlay(cfg.Routers, cfg.Seed)
+	if err != nil {
+		return row, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	a := baseline.NewTypeA(overlay.DefaultConfig(), net, rng)
+
+	var stats, mobiles []*baseline.APeer
+	for i := 0; i < cfg.Stationary; i++ {
+		p, err := a.AddPeer(net.AttachHostRandom(rng), false)
+		if err != nil {
+			return row, err
+		}
+		stats = append(stats, p)
+	}
+	for i := 0; i < cfg.Mobile; i++ {
+		p, err := a.AddPeer(net.AttachHostRandom(rng), true)
+		if err != nil {
+			return row, err
+		}
+		mobiles = append(mobiles, p)
+	}
+
+	sessions := table1Sessions(cfg, rng)
+	// Capture each session target's identity at session start.
+	epochs := make([]int, len(sessions))
+	for i, s := range sessions {
+		epochs[i] = mobiles[s.dst].Epoch
+	}
+
+	delivered, attempted := 0, 0
+	costs, directs := &metrics.Sample{}, &metrics.Sample{}
+	movesBefore := a.Stats.MaintenanceMessages
+
+	runRound := func(countInto, okInto *int) error {
+		for _, p := range mobiles {
+			if err := a.Move(p); err != nil {
+				return err
+			}
+		}
+		for i, s := range sessions {
+			*countInto++
+			cost, _, ok, err := a.SendToIdentity(stats[s.src], mobiles[s.dst].Index, epochs[i])
+			if err != nil {
+				return err
+			}
+			if ok {
+				*okInto++
+				costs.Add(cost)
+				directs.Add(net.Cost(stats[s.src].Host, mobiles[s.dst].Host))
+			}
+		}
+		return nil
+	}
+	for r := 0; r < cfg.Rounds-1; r++ {
+		if err := runRound(&attempted, &delivered); err != nil {
+			return row, err
+		}
+	}
+	// Type A has no supporting infrastructure to fail; the failure-phase
+	// round measures the same (broken) movement behaviour.
+	failAttempted, failDelivered := 0, 0
+	if err := runRound(&failAttempted, &failDelivered); err != nil {
+		return row, err
+	}
+
+	totalMoves := float64(cfg.Mobile * cfg.Rounds)
+	row.DeliveryPct = pct(delivered, attempted)
+	row.DeliveryAfterFailPct = pct(failDelivered, failAttempted)
+	row.CostPenalty = penalty(costs, directs)
+	row.MaintPerMove = float64(a.Stats.MaintenanceMessages-movesBefore) / totalMoves
+	return row, nil
+}
+
+func table1TypeB(cfg Table1Config) (Table1Row, error) {
+	row := Table1Row{Design: "Type B", Infrastructure: "Mobile IP", EndToEnd: true}
+	net, err := newUnderlay(cfg.Routers, cfg.Seed)
+	if err != nil {
+		return row, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	m := baseline.NewMobileIP(net)
+
+	var stats []simnet.HostID
+	for i := 0; i < cfg.Stationary; i++ {
+		stats = append(stats, net.AttachHostRandom(rng))
+	}
+	var mobiles []simnet.HostID
+	for i := 0; i < cfg.Mobile; i++ {
+		h := net.AttachHostRandom(rng)
+		m.AssignHomeAgent(h)
+		mobiles = append(mobiles, h)
+	}
+
+	sessions := table1Sessions(cfg, rng)
+	delivered, attempted := 0, 0
+	costs, directs := &metrics.Sample{}, &metrics.Sample{}
+
+	runRound := func(countInto, okInto *int) {
+		for _, h := range mobiles {
+			m.Move(h, rng)
+		}
+		for _, s := range sessions {
+			*countInto++
+			tri, direct, err := m.Send(stats[s.src], mobiles[s.dst])
+			if err != nil {
+				continue
+			}
+			*okInto++
+			costs.Add(tri)
+			directs.Add(direct)
+		}
+	}
+	for r := 0; r < cfg.Rounds-1; r++ {
+		runRound(&attempted, &delivered)
+	}
+
+	// Failure phase: kill FailFraction of home agents.
+	kills := int(cfg.FailFraction * float64(cfg.Mobile))
+	for i := 0; i < kills; i++ {
+		m.FailHomeAgent(mobiles[rng.Intn(len(mobiles))])
+	}
+	failAttempted, failDelivered := 0, 0
+	runRound(&failAttempted, &failDelivered)
+
+	row.DeliveryPct = pct(delivered, attempted)
+	row.DeliveryAfterFailPct = pct(failDelivered, failAttempted)
+	row.CostPenalty = penalty(costs, directs)
+	// Maintenance: one care-of registration per move.
+	row.MaintPerMove = 1
+	return row, nil
+}
+
+func pct(ok, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(ok) / float64(total)
+}
+
+func penalty(costs, directs *metrics.Sample) float64 {
+	if directs.Sum() == 0 {
+		return 0
+	}
+	return costs.Sum() / directs.Sum()
+}
+
+// RenderTable1 produces the quantitative Table 1.
+func RenderTable1(rows []Table1Row) string {
+	t := metrics.NewTable("design", "infrastructure", "delivery %", "delivery % (infra failures)",
+		"cost penalty (×direct)", "maint msgs/move", "end-to-end")
+	for _, r := range rows {
+		t.AddRow(r.Design, r.Infrastructure, r.DeliveryPct, r.DeliveryAfterFailPct,
+			r.CostPenalty, r.MaintPerMove, r.EndToEnd)
+	}
+	return "Table 1: mobility design comparison (measured)\n" + t.String()
+}

@@ -1,0 +1,232 @@
+// Package hashkey implements the circular hash-key space used by Bristle
+// and its underlying structured overlay.
+//
+// Keys are 64-bit values on a ring of size ρ = 2^64. The paper's clustered
+// naming scheme (Section 3) partitions this ring into a contiguous
+// stationary arc [L, U] and a mobile remainder, so all closeness and
+// interval logic is expressed in ring arithmetic: clockwise distance,
+// shortest-arc distance, and arc membership with wrap-around.
+package hashkey
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// Key is a point on the 2^64 identifier ring.
+//
+// The zero Key is a valid key; there is no reserved "invalid" value. Code
+// that needs an optional key should track presence separately.
+type Key uint64
+
+// RingBits is the number of bits in the identifier space.
+const RingBits = 64
+
+// FromName derives a key from an arbitrary name (node endpoint, data name)
+// using SHA-1, mirroring the paper's uniform-hash assumption. The first
+// 8 bytes of the digest, big-endian, become the key.
+func FromName(name string) Key {
+	sum := sha1.Sum([]byte(name))
+	return Key(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// FromBytes derives a key from raw bytes via SHA-1.
+func FromBytes(b []byte) Key {
+	sum := sha1.Sum(b)
+	return Key(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// Random returns a uniformly random key drawn from rng.
+func Random(rng *rand.Rand) Key {
+	return Key(rng.Uint64())
+}
+
+// Clockwise returns the clockwise (increasing-key, wrapping) distance from
+// a to b: the number of steps to walk from a forward around the ring until
+// reaching b. Clockwise(a, a) == 0.
+func Clockwise(a, b Key) uint64 {
+	return uint64(b - a) // two's-complement wrap gives ring arithmetic
+}
+
+// Distance returns the shortest-arc distance between a and b, i.e.
+// min(Clockwise(a,b), Clockwise(b,a)). It is symmetric and at most 2^63.
+func Distance(a, b Key) uint64 {
+	cw := Clockwise(a, b)
+	ccw := Clockwise(b, a)
+	if cw < ccw {
+		return cw
+	}
+	return ccw
+}
+
+// Closer reports whether x is strictly closer to target than y is, using
+// shortest-arc distance. Ties are broken toward the clockwise side so that
+// the relation is a strict weak ordering usable for sorting.
+func Closer(target, x, y Key) bool {
+	dx, dy := Distance(target, x), Distance(target, y)
+	if dx != dy {
+		return dx < dy
+	}
+	// Tie (only possible when x and y are antipodal reflections around
+	// target): prefer the clockwise one deterministically.
+	return Clockwise(target, x) < Clockwise(target, y)
+}
+
+// InArcInclusive reports whether k lies on the clockwise arc from lo to hi,
+// inclusive of both endpoints. The arc may wrap through zero. When lo == hi
+// the arc is the single point lo.
+func InArcInclusive(k, lo, hi Key) bool {
+	return Clockwise(lo, k) <= Clockwise(lo, hi)
+}
+
+// InArcExclusive reports whether k lies on the clockwise arc from lo to hi,
+// excluding both endpoints. When lo == hi the arc is empty.
+func InArcExclusive(k, lo, hi Key) bool {
+	if lo == hi {
+		return false
+	}
+	ck := Clockwise(lo, k)
+	return ck > 0 && ck < Clockwise(lo, hi)
+}
+
+// InArcHalfOpen reports whether k lies on the clockwise arc (lo, hi]:
+// exclusive of lo, inclusive of hi. This is the Chord-style successor
+// interval test. When lo == hi the arc covers the whole ring except lo.
+func InArcHalfOpen(k, lo, hi Key) bool {
+	if lo == hi {
+		return k != lo
+	}
+	ck := Clockwise(lo, k)
+	return ck > 0 && ck <= Clockwise(lo, hi)
+}
+
+// Direction identifies which way around the ring a route travels.
+type Direction int
+
+const (
+	// CW routes clockwise (increasing keys, wrapping).
+	CW Direction = iota
+	// CCW routes counter-clockwise.
+	CCW
+)
+
+// String returns "cw" or "ccw".
+func (d Direction) String() string {
+	if d == CW {
+		return "cw"
+	}
+	return "ccw"
+}
+
+// ShorterArc returns the direction of the shorter arc from a to b, and its
+// length. Ties (antipodal points) resolve to CW.
+func ShorterArc(a, b Key) (Direction, uint64) {
+	cw := Clockwise(a, b)
+	ccw := Clockwise(b, a)
+	if cw <= ccw {
+		return CW, cw
+	}
+	return CCW, ccw
+}
+
+// Advance returns the key reached by moving dist steps from k in direction d.
+func Advance(k Key, d Direction, dist uint64) Key {
+	if d == CW {
+		return k + Key(dist)
+	}
+	return k - Key(dist)
+}
+
+// DirectedDistance returns the distance from a to b when travelling in
+// direction d.
+func DirectedDistance(a, b Key, d Direction) uint64 {
+	if d == CW {
+		return Clockwise(a, b)
+	}
+	return Clockwise(b, a)
+}
+
+// String formats the key as a fixed-width hexadecimal literal.
+func (k Key) String() string {
+	return fmt.Sprintf("%016x", uint64(k))
+}
+
+// Arc is a closed clockwise interval [Lo, Hi] on the ring, possibly
+// wrapping through zero. It models the stationary region [L, U] of the
+// clustered naming scheme.
+type Arc struct {
+	Lo, Hi Key
+}
+
+// Contains reports whether k ∈ [a.Lo, a.Hi] clockwise.
+func (a Arc) Contains(k Key) bool {
+	return InArcInclusive(k, a.Lo, a.Hi)
+}
+
+// Width returns the number of keys on the arc minus one (the clockwise
+// span). A full-ring arc cannot be represented; Width(lo, lo) == 0.
+func (a Arc) Width() uint64 {
+	return Clockwise(a.Lo, a.Hi)
+}
+
+// Fraction returns the fraction of the ring covered by the arc, in [0, 1).
+// This is the paper's ∇ = (U − L)/ρ.
+func (a Arc) Fraction() float64 {
+	return float64(a.Width()) / float64(1<<63) / 2.0
+}
+
+// StationaryArc constructs the clustered-naming stationary region covering
+// the given fraction of the ring (the paper's ∇ ≈ (N−M)/N), centred at the
+// middle of the ring so that both L > 0 and U < ρ hold as in Section 3.
+func StationaryArc(fraction float64) Arc {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	half := uint64(fraction * float64(1<<63))
+	const mid = Key(1 << 63)
+	return Arc{Lo: mid - Key(half), Hi: mid + Key(half-1)}
+}
+
+// RandomIn returns a uniformly random key on the closed arc.
+func (a Arc) RandomIn(rng *rand.Rand) Key {
+	w := a.Width()
+	if w == ^uint64(0) {
+		return Key(rng.Uint64())
+	}
+	return a.Lo + Key(randUint64n(rng, w+1))
+}
+
+// RandomOutside returns a uniformly random key strictly outside the arc.
+// It panics if the arc covers the entire ring.
+func (a Arc) RandomOutside(rng *rand.Rand) Key {
+	w := a.Width()
+	if w == ^uint64(0) {
+		panic("hashkey: RandomOutside of full-ring arc")
+	}
+	outside := ^uint64(0) - w // number of keys outside minus zero-adjust
+	if outside == 0 {
+		panic("hashkey: arc leaves no outside keys")
+	}
+	off := randUint64n(rng, outside)
+	return a.Hi + 1 + Key(off)
+}
+
+// randUint64n returns a uniform value in [0, n). n must be > 0.
+func randUint64n(rng *rand.Rand, n uint64) uint64 {
+	if n == 0 {
+		panic("hashkey: randUint64n(0)")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := rng.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}

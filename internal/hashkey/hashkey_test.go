@@ -1,0 +1,293 @@
+package hashkey
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromNameDeterministic(t *testing.T) {
+	a := FromName("node-1:9000")
+	b := FromName("node-1:9000")
+	c := FromName("node-2:9000")
+	if a != b {
+		t.Fatalf("FromName not deterministic: %v != %v", a, b)
+	}
+	if a == c {
+		t.Fatalf("distinct names collided: %v", a)
+	}
+}
+
+func TestFromBytesMatchesName(t *testing.T) {
+	if FromName("abc") != FromBytes([]byte("abc")) {
+		t.Fatal("FromName and FromBytes disagree on identical input")
+	}
+}
+
+func TestClockwiseBasics(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, ^uint64(0)}, // all the way around
+		{10, 3, ^uint64(0) - 6},
+		{^Key(0), 0, 1}, // wrap through zero
+		{^Key(0), 1, 2},
+	}
+	for _, c := range cases {
+		if got := Clockwise(c.a, c.b); got != c.want {
+			t.Errorf("Clockwise(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return Distance(Key(a), Key(b)) == Distance(Key(b), Key(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceBounded(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return Distance(Key(a), Key(b)) <= 1<<63
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	f := func(a uint64) bool {
+		return Distance(Key(a), Key(a)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleOnRing(t *testing.T) {
+	// Ring distance satisfies the triangle inequality.
+	f := func(a, b, c uint64) bool {
+		ab := Distance(Key(a), Key(b))
+		bc := Distance(Key(b), Key(c))
+		ac := Distance(Key(a), Key(c))
+		return ac <= ab+bc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloserStrictWeakOrder(t *testing.T) {
+	target := Key(1000)
+	if !Closer(target, 1001, 900) {
+		t.Error("1001 should be closer to 1000 than 900")
+	}
+	if Closer(target, 900, 1001) {
+		t.Error("900 should not be closer to 1000 than 1001")
+	}
+	// Irreflexive.
+	if Closer(target, 42, 42) {
+		t.Error("Closer must be irreflexive")
+	}
+}
+
+func TestCloserAntisymmetric(t *testing.T) {
+	f := func(tg, x, y uint64) bool {
+		if x == y {
+			return true
+		}
+		cx := Closer(Key(tg), Key(x), Key(y))
+		cy := Closer(Key(tg), Key(y), Key(x))
+		return cx != cy // exactly one direction holds for distinct keys
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInArcInclusive(t *testing.T) {
+	cases := []struct {
+		k, lo, hi Key
+		want      bool
+	}{
+		{5, 0, 10, true},
+		{0, 0, 10, true},
+		{10, 0, 10, true},
+		{11, 0, 10, false},
+		{^Key(0), ^Key(0) - 5, 5, true}, // wrapping arc
+		{3, ^Key(0) - 5, 5, true},
+		{6, ^Key(0) - 5, 5, false},
+		{7, 7, 7, true}, // degenerate single-point arc
+		{8, 7, 7, false},
+	}
+	for _, c := range cases {
+		if got := InArcInclusive(c.k, c.lo, c.hi); got != c.want {
+			t.Errorf("InArcInclusive(%v,%v,%v) = %v, want %v", c.k, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestInArcHalfOpen(t *testing.T) {
+	if InArcHalfOpen(0, 0, 10) {
+		t.Error("(0,10] must exclude 0")
+	}
+	if !InArcHalfOpen(10, 0, 10) {
+		t.Error("(0,10] must include 10")
+	}
+	if !InArcHalfOpen(5, 10, 10) {
+		t.Error("(x,x] covers whole ring minus x")
+	}
+	if InArcHalfOpen(10, 10, 10) {
+		t.Error("(x,x] excludes x itself")
+	}
+}
+
+func TestInArcExclusive(t *testing.T) {
+	if InArcExclusive(0, 0, 10) || InArcExclusive(10, 0, 10) {
+		t.Error("exclusive arc must exclude endpoints")
+	}
+	if !InArcExclusive(5, 0, 10) {
+		t.Error("exclusive arc must include interior")
+	}
+	if InArcExclusive(5, 7, 7) {
+		t.Error("empty arc contains nothing")
+	}
+}
+
+func TestArcComplementProperty(t *testing.T) {
+	// Any key is either in [lo,hi] or in (hi, lo-1] — the two arcs tile the ring.
+	f := func(k, lo, hi uint64) bool {
+		in := InArcInclusive(Key(k), Key(lo), Key(hi))
+		// Complement of closed arc [lo,hi] is the open-from-hi arc (hi, lo).
+		out := InArcExclusive(Key(k), Key(hi), Key(lo)) && Key(k) != Key(lo) && Key(k) != Key(hi)
+		if Key(lo) == Key(hi) {
+			return in == (Key(k) == Key(lo))
+		}
+		return in != out || (in && (Key(k) == Key(lo) || Key(k) == Key(hi)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShorterArc(t *testing.T) {
+	d, n := ShorterArc(0, 10)
+	if d != CW || n != 10 {
+		t.Errorf("ShorterArc(0,10) = %v,%d want CW,10", d, n)
+	}
+	d, n = ShorterArc(10, 0)
+	if d != CCW || n != 10 {
+		t.Errorf("ShorterArc(10,0) = %v,%d want CCW,10", d, n)
+	}
+	d, _ = ShorterArc(0, 1<<63) // antipodal tie resolves CW
+	if d != CW {
+		t.Errorf("antipodal tie should resolve CW, got %v", d)
+	}
+}
+
+func TestAdvanceInverse(t *testing.T) {
+	f := func(k, dist uint64) bool {
+		fwd := Advance(Key(k), CW, dist)
+		back := Advance(fwd, CCW, dist)
+		return back == Key(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectedDistanceConsistentWithAdvance(t *testing.T) {
+	f := func(a, dist uint64) bool {
+		b := Advance(Key(a), CW, dist)
+		return DirectedDistance(Key(a), b, CW) == dist
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStationaryArcFraction(t *testing.T) {
+	for _, frac := range []float64{0.1, 0.2, 0.5, 0.8, 0.99} {
+		a := StationaryArc(frac)
+		got := a.Fraction()
+		if diff := got - frac; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("StationaryArc(%v).Fraction() = %v", frac, got)
+		}
+	}
+}
+
+func TestStationaryArcExcludesZero(t *testing.T) {
+	// Section 3 requires 0 < L <= U < ρ: key 0 must stay mobile territory.
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.999} {
+		a := StationaryArc(frac)
+		if a.Contains(0) {
+			t.Errorf("StationaryArc(%v) contains key 0", frac)
+		}
+	}
+}
+
+func TestRandomInArc(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Arc{Lo: 100, Hi: 200}
+	for i := 0; i < 1000; i++ {
+		k := a.RandomIn(rng)
+		if !a.Contains(k) {
+			t.Fatalf("RandomIn produced %v outside [100,200]", k)
+		}
+	}
+}
+
+func TestRandomOutsideArc(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := StationaryArc(0.5)
+	for i := 0; i < 1000; i++ {
+		k := a.RandomOutside(rng)
+		if a.Contains(k) {
+			t.Fatalf("RandomOutside produced %v inside arc", k)
+		}
+	}
+}
+
+func TestRandomInWrappingArc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Arc{Lo: ^Key(0) - 10, Hi: 10} // wraps through zero
+	for i := 0; i < 1000; i++ {
+		k := a.RandomIn(rng)
+		if !a.Contains(k) {
+			t.Fatalf("RandomIn (wrapping) produced %v outside arc", k)
+		}
+	}
+}
+
+func TestRandUint64nUniformSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[randUint64n(rng, 4)]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("value %d frequency %v, want ~0.25", v, frac)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if CW.String() != "cw" || CCW.String() != "ccw" {
+		t.Error("Direction.String mismatch")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if got := Key(0xdeadbeef).String(); got != "00000000deadbeef" {
+		t.Errorf("Key.String = %q", got)
+	}
+}

@@ -1,0 +1,436 @@
+package ldt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bristle/internal/topology"
+)
+
+func mkMembers(n int, maxCap float64, rng *rand.Rand) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{
+			ID:       int32(i + 1),
+			Capacity: 1 + math.Floor(rng.Float64()*maxCap),
+			Router:   topology.RouterID(rng.Intn(50)),
+		}
+	}
+	return ms
+}
+
+func mustBuild(t testing.TB, root Member, reg []Member, p Params) *Tree {
+	t.Helper()
+	tree, err := Build(root, reg, p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree
+}
+
+func collectIDs(t *Tree) map[int32]int {
+	ids := map[int32]int{}
+	t.Walk(func(n *Node) { ids[n.Member.ID]++ })
+	return ids
+}
+
+func TestBuildContainsExactlyMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	root := Member{ID: 0, Capacity: 5, Router: 0}
+	reg := mkMembers(20, 10, rng)
+	tree := mustBuild(t, root, reg, Params{UnitCost: 1})
+	ids := collectIDs(tree)
+	if len(ids) != 21 {
+		t.Fatalf("tree has %d distinct members, want 21", len(ids))
+	}
+	for id, count := range ids {
+		if count != 1 {
+			t.Fatalf("member %d appears %d times", id, count)
+		}
+	}
+	if tree.Size() != 21 {
+		t.Fatalf("Size() = %d, want 21", tree.Size())
+	}
+	if tree.Edges() != 20 {
+		t.Fatalf("Edges() = %d, want 20", tree.Edges())
+	}
+}
+
+func TestMemberOnlyProperty(t *testing.T) {
+	// Property: every node in the tree is the root or a registry member —
+	// the member-only design (§2.3). Checked over random inputs.
+	f := func(seed int64, n uint8, maxCap uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%40) + 1
+		cap := float64(maxCap%15) + 1
+		root := Member{ID: -1, Capacity: cap, Router: 0}
+		reg := mkMembers(count, cap, rng)
+		tree, err := Build(root, reg, Params{UnitCost: 1})
+		if err != nil {
+			return false
+		}
+		allowed := map[int32]bool{-1: true}
+		for _, m := range reg {
+			allowed[m.ID] = true
+		}
+		ok := true
+		seen := 0
+		tree.Walk(func(nd *Node) {
+			seen++
+			if !allowed[nd.Member.ID] {
+				ok = false
+			}
+		})
+		return ok && seen == count+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverloadedRootDelegatesToSingleChild(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	root := Member{ID: 0, Capacity: 1, Used: 1} // Avail = 0 ⇒ overloaded
+	reg := mkMembers(10, 8, rng)
+	tree := mustBuild(t, root, reg, Params{UnitCost: 1})
+	if len(tree.Root.Children) != 1 {
+		t.Fatalf("overloaded root has %d children, want 1", len(tree.Root.Children))
+	}
+	// The single child must be the registry node with maximum capacity.
+	maxCap := 0.0
+	for _, m := range reg {
+		if m.Capacity > maxCap {
+			maxCap = m.Capacity
+		}
+	}
+	if got := tree.Root.Children[0].Member.Capacity; got != maxCap {
+		t.Fatalf("delegate capacity %v, want max %v", got, maxCap)
+	}
+}
+
+func TestFanoutBoundedByAvailableCapacity(t *testing.T) {
+	// k×v ≤ Avail < (k+1)×v: a node may have at most ⌊Avail/v⌋ children.
+	rng := rand.New(rand.NewSource(3))
+	root := Member{ID: 0, Capacity: 7.5} // Avail 7.5, v=2 ⇒ k=3
+	reg := mkMembers(30, 10, rng)
+	tree := mustBuild(t, root, reg, Params{UnitCost: 2})
+	if got := len(tree.Root.Children); got > 3 {
+		t.Fatalf("root fanout %d exceeds ⌊7.5/2⌋=3", got)
+	}
+	tree.Walk(func(n *Node) {
+		k := int(math.Floor(n.Member.Avail() / 2))
+		if k < 1 {
+			k = 1 // overloaded nodes delegate to exactly one child
+		}
+		if len(n.Children) > k {
+			t.Fatalf("node %d fanout %d exceeds bound %d", n.Member.ID, len(n.Children), k)
+		}
+	})
+}
+
+func TestPartitionSizesNearEqual(t *testing.T) {
+	// Figure 4 guarantees the delegated subsets have nearly equal sizes.
+	rng := rand.New(rand.NewSource(4))
+	root := Member{ID: 0, Capacity: 6} // k = 6 with v=1
+	reg := mkMembers(40, 10, rng)
+	tree := mustBuild(t, root, reg, Params{UnitCost: 1})
+	sizes := make([]int, 0, len(tree.Root.Children))
+	for _, c := range tree.Root.Children {
+		sizes = append(sizes, c.Assigned+1)
+	}
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("partition sizes not near-equal: %v", sizes)
+	}
+}
+
+func TestHeadsAreMostCapable(t *testing.T) {
+	// The direct children of a node must be the top-k most capable
+	// members of the delegated set.
+	rng := rand.New(rand.NewSource(5))
+	root := Member{ID: 0, Capacity: 4}
+	reg := mkMembers(25, 10, rng)
+	tree := mustBuild(t, root, reg, Params{UnitCost: 1})
+	k := len(tree.Root.Children)
+	caps := make([]float64, len(reg))
+	for i, m := range reg {
+		caps[i] = m.Capacity
+	}
+	// k-th largest capacity:
+	sorted := append([]float64{}, caps...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	kth := sorted[k-1]
+	for _, c := range tree.Root.Children {
+		if c.Member.Capacity < kth {
+			t.Fatalf("child capacity %v below k-th largest %v", c.Member.Capacity, kth)
+		}
+	}
+}
+
+func TestDepthShrinksWithCapacity(t *testing.T) {
+	// Figure 8(a): light workload (high capacity) ⇒ shallow trees; heavy
+	// workload (capacity 1, k=1 chains) ⇒ deep trees.
+	rng := rand.New(rand.NewSource(6))
+	reg := mkMembers(15, 1, rng) // capacity 1 everywhere
+	for i := range reg {
+		reg[i].Capacity = 1
+	}
+	root := Member{ID: 0, Capacity: 1}
+	chain := mustBuild(t, root, reg, Params{UnitCost: 1})
+
+	for i := range reg {
+		reg[i].Capacity = 15
+	}
+	root.Capacity = 15
+	bushy := mustBuild(t, root, reg, Params{UnitCost: 1})
+
+	if chain.Depth() <= bushy.Depth() {
+		t.Fatalf("chain depth %d not deeper than bushy depth %d", chain.Depth(), bushy.Depth())
+	}
+	if bushy.Depth() > 3 {
+		t.Fatalf("capacity-15 tree over 15 members should be ≤3 deep, got %d", bushy.Depth())
+	}
+	if chain.Depth() != 16 {
+		t.Fatalf("capacity-1 tree should be a 16-level chain, got %d", chain.Depth())
+	}
+}
+
+func TestLevelHistogramSumsToSize(t *testing.T) {
+	f := func(seed int64, n, maxCap uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		cap := float64(maxCap%15) + 1
+		root := Member{ID: -1, Capacity: cap}
+		tree, err := Build(root, mkMembers(count, cap, rng), Params{UnitCost: 1})
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, c := range tree.LevelHistogram() {
+			sum += c
+		}
+		return sum == tree.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignedMatchesSubtreeSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	root := Member{ID: 0, Capacity: 5}
+	tree := mustBuild(t, root, mkMembers(33, 9, rng), Params{UnitCost: 1})
+	var check func(n *Node) int
+	check = func(n *Node) int {
+		size := 1
+		for _, c := range n.Children {
+			size += check(c)
+		}
+		if n.Assigned != size-1 {
+			t.Fatalf("node %d Assigned=%d but subtree size-1=%d", n.Member.ID, n.Assigned, size-1)
+		}
+		return size
+	}
+	check(tree.Root)
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := Build(Member{}, nil, Params{UnitCost: 0}); err == nil {
+		t.Error("UnitCost=0 accepted")
+	}
+	if _, err := Build(Member{}, nil, Params{UnitCost: 1, Locality: true}); err == nil {
+		t.Error("Locality without Dist accepted")
+	}
+}
+
+func TestEmptyRegistry(t *testing.T) {
+	tree := mustBuild(t, Member{ID: 1, Capacity: 3}, nil, Params{UnitCost: 1})
+	if tree.Size() != 1 || tree.Depth() != 1 || tree.Edges() != 0 {
+		t.Fatalf("singleton tree wrong: size=%d depth=%d", tree.Size(), tree.Depth())
+	}
+	if tree.EdgeCost(func(a, b topology.RouterID) float64 { return 1 }) != 0 {
+		t.Fatal("singleton tree has nonzero edge cost")
+	}
+}
+
+func TestLocalityReducesEdgeCost(t *testing.T) {
+	// Members cluster at two distant routers; locality-aware partitioning
+	// should wire same-cluster members together and beat round-robin.
+	dist := func(a, b topology.RouterID) float64 {
+		if a == b {
+			return 0
+		}
+		da, db := a/100, b/100
+		if da == db {
+			return 1 // same cluster
+		}
+		return 100 // cross-cluster
+	}
+	rng := rand.New(rand.NewSource(8))
+	reg := make([]Member, 24)
+	for i := range reg {
+		cluster := topology.RouterID((i % 2) * 100)
+		reg[i] = Member{
+			ID:       int32(i + 1),
+			Capacity: 2 + math.Floor(rng.Float64()*6),
+			Router:   cluster + topology.RouterID(rng.Intn(10)),
+		}
+	}
+	root := Member{ID: 0, Capacity: 3, Router: 0}
+
+	plain := mustBuild(t, root, reg, Params{UnitCost: 1})
+	local := mustBuild(t, root, reg, Params{UnitCost: 1, Locality: true, Dist: dist})
+
+	cPlain := plain.EdgeCost(dist)
+	cLocal := local.EdgeCost(dist)
+	if cLocal >= cPlain {
+		t.Fatalf("locality cost %v not below round-robin cost %v", cLocal, cPlain)
+	}
+	// Locality must not break the member-only guarantee or sizes.
+	if local.Size() != plain.Size() {
+		t.Fatalf("locality changed tree size: %d vs %d", local.Size(), plain.Size())
+	}
+}
+
+func TestLocalityPreservesBalance(t *testing.T) {
+	dist := func(a, b topology.RouterID) float64 { return math.Abs(float64(a - b)) }
+	rng := rand.New(rand.NewSource(9))
+	reg := mkMembers(30, 8, rng)
+	root := Member{ID: 0, Capacity: 5}
+	tree := mustBuild(t, root, reg, Params{UnitCost: 1, Locality: true, Dist: dist})
+	sizes := []int{}
+	for _, c := range tree.Root.Children {
+		sizes = append(sizes, c.Assigned+1)
+	}
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("locality partition sizes unbalanced: %v", sizes)
+	}
+}
+
+func TestResponsibilityFormulas(t *testing.T) {
+	n := math.Pow(2, 20) // the paper's N = 1,048,576
+	logN := 20.0
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.8} {
+		m := frac * n
+		member := ResponsibilityMemberOnly(n, m)
+		nonMember := ResponsibilityNonMemberOnly(n, m)
+		wantMember := m / (n - m) * logN
+		if math.Abs(member-wantMember) > 1e-9 {
+			t.Errorf("member-only resp(%v) = %v, want %v", frac, member, wantMember)
+		}
+		if math.Abs(nonMember-member*logN) > 1e-6 {
+			t.Errorf("non-member resp should be log N × member-only: %v vs %v", nonMember, member*logN)
+		}
+	}
+	// As M→N the responsibility explodes (the Figure 3 blow-up).
+	if !math.IsInf(ResponsibilityMemberOnly(100, 100), 1) {
+		t.Error("M=N should yield infinite responsibility")
+	}
+}
+
+func TestResponsibilityMonotoneInM(t *testing.T) {
+	f := func(a, b uint16) bool {
+		n := 4096.0
+		m1 := float64(a%4000) + 1
+		m2 := float64(b%4000) + 1
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		return ResponsibilityMemberOnly(n, m1) <= ResponsibilityMemberOnly(n, m2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdealDepth(t *testing.T) {
+	cases := []struct{ s, k, want int }{
+		{0, 3, 1},
+		{1, 3, 2},
+		{3, 3, 2},
+		{4, 3, 3},  // 3 + 9 covers 12 ≥ 4 at depth 3
+		{12, 3, 3}, // 3+9 = 12 exactly
+		{13, 3, 4},
+		{5, 1, 6}, // chain
+	}
+	for _, c := range cases {
+		if got := IdealDepth(c.s, c.k); got != c.want {
+			t.Errorf("IdealDepth(%d,%d) = %d, want %d", c.s, c.k, got, c.want)
+		}
+	}
+}
+
+func TestDepthNearIdealForUniformCapacity(t *testing.T) {
+	// With uniform capacity c (so k = c everywhere) the built tree's depth
+	// should equal the ideal ⌈log_k⌉ depth: the O(log_k N) claim.
+	for _, c := range []float64{2, 3, 5} {
+		reg := make([]Member, 40)
+		for i := range reg {
+			reg[i] = Member{ID: int32(i + 1), Capacity: c}
+		}
+		root := Member{ID: 0, Capacity: c}
+		tree := mustBuild(t, root, reg, Params{UnitCost: 1})
+		want := IdealDepth(40, int(c))
+		if tree.Depth() != want {
+			t.Errorf("capacity %v: depth %d, ideal %d", c, tree.Depth(), want)
+		}
+	}
+}
+
+func TestUsedCapacityReducesFanout(t *testing.T) {
+	reg := mkMembers(20, 5, rand.New(rand.NewSource(10)))
+	fresh := Member{ID: 0, Capacity: 6}
+	busy := Member{ID: 0, Capacity: 6, Used: 4}
+	t1 := mustBuild(t, fresh, reg, Params{UnitCost: 1})
+	t2 := mustBuild(t, busy, reg, Params{UnitCost: 1})
+	if len(t2.Root.Children) >= len(t1.Root.Children) {
+		t.Fatalf("busy root fanout %d not below fresh fanout %d",
+			len(t2.Root.Children), len(t1.Root.Children))
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(11))
+	rng2 := rand.New(rand.NewSource(11))
+	reg1 := mkMembers(25, 9, rng1)
+	reg2 := mkMembers(25, 9, rng2)
+	root := Member{ID: 0, Capacity: 4}
+	t1 := mustBuild(t, root, reg1, Params{UnitCost: 1})
+	t2 := mustBuild(t, root, reg2, Params{UnitCost: 1})
+	var shape func(n *Node) string
+	shape = func(n *Node) string {
+		s := string(rune(n.Member.ID)) + "("
+		for _, c := range n.Children {
+			s += shape(c)
+		}
+		return s + ")"
+	}
+	if shape(t1.Root) != shape(t2.Root) {
+		t.Fatal("identical inputs produced different trees")
+	}
+}

@@ -1,0 +1,141 @@
+package ldt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bristle/internal/topology"
+)
+
+// shapeString serializes a tree for structural comparison.
+func shapeString(t *Tree) string {
+	var b []byte
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		b = append(b, byte('('))
+		b = append(b, []byte{byte(n.Member.ID), byte(n.Member.ID >> 8)}...)
+		for _, c := range n.Children {
+			rec(c)
+		}
+		b = append(b, byte(')'))
+	}
+	rec(t.Root)
+	return string(b)
+}
+
+// TestPropertyPermutationInvariance: the Figure 4 algorithm sorts the
+// registry first, so tree shape must not depend on input order.
+func TestPropertyPermutationInvariance(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%30) + 1
+		reg := mkMembers(count, 10, rng)
+		root := Member{ID: -1, Capacity: 5}
+
+		t1, err := Build(root, reg, Params{UnitCost: 1})
+		if err != nil {
+			return false
+		}
+		perm := make([]Member, count)
+		for i, j := range rng.Perm(count) {
+			perm[i] = reg[j]
+		}
+		t2, err := Build(root, perm, Params{UnitCost: 1})
+		if err != nil {
+			return false
+		}
+		return shapeString(t1) == shapeString(t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEdgeCostNonNegativeAndAdditive: edge cost over any metric
+// is the sum over edges; with a constant metric it equals Edges()×c.
+func TestPropertyEdgeCostNonNegativeAndAdditive(t *testing.T) {
+	f := func(seed int64, n, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%25) + 1
+		c := float64(cRaw%9) + 1
+		tree, err := Build(Member{ID: -1, Capacity: 4}, mkMembers(count, 8, rng), Params{UnitCost: 1})
+		if err != nil {
+			return false
+		}
+		got := tree.EdgeCost(func(a, b topology.RouterID) float64 { return c })
+		want := float64(tree.Edges()) * c
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDepthBounds: depth is between the ideal balanced depth for
+// the maximum capacity and the chain length.
+func TestPropertyDepthBounds(t *testing.T) {
+	f := func(seed int64, n, capRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%40) + 1
+		maxCap := int(capRaw%10) + 1
+		reg := mkMembers(count, float64(maxCap), rng)
+		tree, err := Build(Member{ID: -1, Capacity: float64(maxCap)}, reg, Params{UnitCost: 1})
+		if err != nil {
+			return false
+		}
+		d := tree.Depth()
+		// Lower bound: a tree where everyone had the max capacity.
+		lower := IdealDepth(count, maxCap)
+		// Upper bound: the full chain.
+		upper := count + 1
+		return d >= lower && d <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLocalityNeverChangesMembership: locality-aware partitioning
+// reshapes the tree but must deliver to exactly the same member set.
+func TestPropertyLocalityNeverChangesMembership(t *testing.T) {
+	dist := func(a, b topology.RouterID) float64 {
+		d := float64(a - b)
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%30) + 1
+		reg := mkMembers(count, 8, rng)
+		root := Member{ID: -1, Capacity: 4}
+		plain, err := Build(root, reg, Params{UnitCost: 1})
+		if err != nil {
+			return false
+		}
+		local, err := Build(root, reg, Params{UnitCost: 1, Locality: true, Dist: dist})
+		if err != nil {
+			return false
+		}
+		ids := func(tr *Tree) map[int32]bool {
+			m := map[int32]bool{}
+			tr.Walk(func(nd *Node) { m[nd.Member.ID] = true })
+			return m
+		}
+		a, b := ids(plain), ids(local)
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

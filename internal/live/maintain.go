@@ -1,0 +1,83 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MaintainConfig tunes the background maintenance of a live node.
+type MaintainConfig struct {
+	// GossipInterval is the anti-entropy membership exchange period.
+	// Zero disables gossip.
+	GossipInterval time.Duration
+	// RenewInterval is the location republish period (early binding lease
+	// renewal, §2.3.2). Zero derives LeaseTTL/2 when a lease is set, else
+	// disables renewal.
+	RenewInterval time.Duration
+	// Rand seeds gossip partner selection; nil uses a time-seeded source.
+	Rand *rand.Rand
+}
+
+// StartMaintenance launches the node's periodic duties — anti-entropy
+// gossip and lease renewal — and returns a stop function. Stopping is
+// idempotent and waits for the loops to exit. Errors inside the loops are
+// logged (when a Logger is configured) and do not stop maintenance: a
+// missed gossip round or renewal retries on the next tick.
+func (n *Node) StartMaintenance(cfg MaintainConfig) (stop func()) {
+	if cfg.RenewInterval == 0 && n.cfg.LeaseTTL > 0 {
+		cfg.RenewInterval = n.cfg.LeaseTTL / 2
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	if cfg.GossipInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.GossipInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					if _, err := n.GossipOnce(rng); err != nil {
+						n.logf("maintenance gossip: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	if cfg.RenewInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.RenewInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					if err := n.Publish(); err != nil {
+						n.logf("maintenance renew: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,700 @@
+// Package live runs Bristle's location-management protocol over real
+// connections (TCP or the in-memory test transport): publish, discover,
+// register, and LDT-driven location updates, with leases, exactly as
+// Section 2.3 describes.
+//
+// A live node keeps full membership knowledge refreshed by anti-entropy
+// gossip — appropriate for the small rings a single machine can host.
+// (The O(log N) routing-state behaviour of large overlays is exercised by
+// the simulation packages; the live node demonstrates the protocol end to
+// end: a mobile node re-binds to a new port, republishes, pushes updates
+// down a capacity-scheduled dissemination tree, and correspondents keep
+// reaching it.)
+package live
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/ldt"
+	"bristle/internal/transport"
+	"bristle/internal/wire"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("live: no valid location record")
+	ErrStopped  = errors.New("live: node stopped")
+)
+
+// Update is a proactive location update delivered to a registered node.
+type Update struct {
+	Key  hashkey.Key
+	Addr string
+}
+
+// Config parameterizes a live node.
+type Config struct {
+	// Name seeds the node's hash key (FromName), standing in for a stable
+	// node identity independent of its network address.
+	Name string
+	// Capacity is the advertised C_X used to schedule LDTs.
+	Capacity float64
+	// Mobile marks the node as relocatable (Rebind allowed).
+	Mobile bool
+	// LeaseTTL bounds how long published locations and caches stay valid.
+	// Zero disables expiry.
+	LeaseTTL time.Duration
+	// Replication is how many stationary peers hold this node's location
+	// record (§2.3.2 availability; discovery falls over across them).
+	// Minimum effective value 1; default 2.
+	Replication int
+	// RequestTimeout bounds every request/response exchange; a peer that
+	// accepts but never answers costs at most this long. Default 10s.
+	RequestTimeout time.Duration
+	// Logger receives protocol diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+type storedLoc struct {
+	addr    string
+	expires time.Time
+	hasTTL  bool
+}
+
+func (s storedLoc) valid(now time.Time) bool {
+	return s.addr != "" && (!s.hasTTL || now.Before(s.expires))
+}
+
+// Node is one live Bristle participant.
+type Node struct {
+	cfg Config
+	key hashkey.Key
+	tr  transport.Transport
+
+	mu       sync.Mutex
+	listener transport.Listener
+	addr     string
+	peers    map[hashkey.Key]wire.Entry // known membership (incl. self)
+	store    map[hashkey.Key]storedLoc  // location repository fragment
+	registry map[hashkey.Key]wire.Entry // R(self): interested nodes
+	cache    map[hashkey.Key]storedLoc  // learned locations of others
+	seq      uint32
+	stopped  bool
+
+	wg      sync.WaitGroup
+	updates chan Update
+}
+
+// NewNode creates a stopped node. Call Start to begin serving.
+func NewNode(cfg Config, tr transport.Transport) *Node {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 2
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	return &Node{
+		cfg:      cfg,
+		key:      hashkey.FromName(cfg.Name),
+		tr:       tr,
+		peers:    make(map[hashkey.Key]wire.Entry),
+		store:    make(map[hashkey.Key]storedLoc),
+		registry: make(map[hashkey.Key]wire.Entry),
+		cache:    make(map[hashkey.Key]storedLoc),
+		updates:  make(chan Update, 64),
+	}
+}
+
+// Key returns the node's hash key.
+func (n *Node) Key() hashkey.Key { return n.key }
+
+// Addr returns the node's current dialable address ("" before Start).
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addr
+}
+
+// Updates delivers proactive location updates pushed to this node through
+// the dissemination trees it registered with.
+func (n *Node) Updates() <-chan Update { return n.updates }
+
+// Start binds a listener on listenAddr (":0" for an ephemeral port) and
+// begins serving the protocol.
+func (n *Node) Start(listenAddr string) error {
+	l, err := n.tr.Listen(listenAddr)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		l.Close()
+		return ErrStopped
+	}
+	n.listener = l
+	n.addr = l.Addr()
+	n.peers[n.key] = n.selfEntryLocked()
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.acceptLoop(l)
+	return nil
+}
+
+// Close stops serving and releases the listener.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil
+	}
+	n.stopped = true
+	l := n.listener
+	n.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) selfEntryLocked() wire.Entry {
+	return wire.Entry{
+		Key:      n.key,
+		Addr:     n.addr,
+		Capacity: n.cfg.Capacity,
+		TTLMilli: uint32(n.cfg.LeaseTTL / time.Millisecond),
+		Mobile:   n.cfg.Mobile,
+	}
+}
+
+// SelfEntry returns the node's current state-pair.
+func (n *Node) SelfEntry() wire.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.selfEntryLocked()
+}
+
+func (n *Node) logf(format string, args ...interface{}) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Printf("[%s %s] "+format, append([]interface{}{n.cfg.Name, n.key}, args...)...)
+	}
+}
+
+func (n *Node) acceptLoop(l transport.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			for {
+				msg, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				if resp := n.handle(msg); resp != nil {
+					if err := conn.Send(resp); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+}
+
+// handle dispatches one inbound message and returns the response frame
+// (nil for one-way messages).
+func (n *Node) handle(m *wire.Message) *wire.Message {
+	switch m.Type {
+	case wire.TPing:
+		return &wire.Message{Type: wire.TPong, Seq: m.Seq}
+
+	case wire.TJoin:
+		return n.handleJoin(m)
+
+	case wire.TPublish:
+		n.handlePublish(m)
+		return &wire.Message{Type: wire.TPublishAck, Seq: m.Seq, Found: true}
+
+	case wire.TDiscover:
+		return n.handleDiscover(m)
+
+	case wire.TRegister:
+		n.mu.Lock()
+		n.registry[m.Self.Key] = m.Self
+		n.mu.Unlock()
+		n.logf("register from %v (%s)", m.Self.Key, m.Self.Addr)
+		return &wire.Message{Type: wire.TRegisterAck, Seq: m.Seq, Found: true}
+
+	case wire.TUpdate:
+		n.handleUpdate(m)
+		return nil
+
+	case wire.TLeafExchange:
+		return n.handleLeafExchange(m)
+
+	default:
+		n.logf("dropping unknown message type %v", m.Type)
+		return nil
+	}
+}
+
+func (n *Node) handleJoin(m *wire.Message) *wire.Message {
+	n.mu.Lock()
+	n.peers[m.Self.Key] = m.Self
+	entries := n.knownEntriesLocked()
+	n.mu.Unlock()
+	n.logf("join from %v (%s)", m.Self.Key, m.Self.Addr)
+	return &wire.Message{Type: wire.TJoinResp, Seq: m.Seq, Found: true, Entries: entries}
+}
+
+func (n *Node) handlePublish(m *wire.Message) {
+	rec := storedLoc{addr: m.Self.Addr}
+	if m.Self.TTLMilli > 0 {
+		rec.hasTTL = true
+		rec.expires = time.Now().Add(time.Duration(m.Self.TTLMilli) * time.Millisecond)
+	}
+	n.mu.Lock()
+	n.store[m.Self.Key] = rec
+	// A publisher is also a live peer worth knowing about.
+	n.peers[m.Self.Key] = m.Self
+	n.mu.Unlock()
+	n.logf("stored location of %v → %s", m.Self.Key, m.Self.Addr)
+}
+
+func (n *Node) handleDiscover(m *wire.Message) *wire.Message {
+	n.mu.Lock()
+	rec, ok := n.store[m.Key]
+	n.mu.Unlock()
+	resp := &wire.Message{Type: wire.TDiscoverResp, Seq: m.Seq, Key: m.Key}
+	if ok && rec.valid(time.Now()) {
+		resp.Found = true
+		resp.Self = wire.Entry{Key: m.Key, Addr: rec.addr}
+	}
+	return resp
+}
+
+func (n *Node) handleUpdate(m *wire.Message) {
+	rec := storedLoc{addr: m.Self.Addr}
+	if m.Self.TTLMilli > 0 {
+		rec.hasTTL = true
+		rec.expires = time.Now().Add(time.Duration(m.Self.TTLMilli) * time.Millisecond)
+	}
+	n.mu.Lock()
+	n.cache[m.Self.Key] = rec
+	if p, ok := n.peers[m.Self.Key]; ok {
+		p.Addr = m.Self.Addr
+		n.peers[m.Self.Key] = p
+	}
+	n.mu.Unlock()
+	select {
+	case n.updates <- Update{Key: m.Self.Key, Addr: m.Self.Addr}:
+	default: // applications that don't drain updates must not block the tree
+	}
+	n.logf("location update: %v now at %s, delegating %d", m.Self.Key, m.Self.Addr, len(m.Entries))
+	// Re-advertise to the delegated subtree (Figure 4 recursion).
+	if len(m.Entries) > 0 {
+		n.advertise(m.Self, m.Entries)
+	}
+}
+
+func (n *Node) handleLeafExchange(m *wire.Message) *wire.Message {
+	n.mu.Lock()
+	for _, e := range m.Entries {
+		n.mergePeerLocked(e)
+	}
+	entries := n.knownEntriesLocked()
+	n.mu.Unlock()
+	return &wire.Message{Type: wire.TLeafExchange, Seq: m.Seq, Found: true, Entries: entries}
+}
+
+// mergePeerLocked adopts a peer entry unless we already track that key
+// (newer addresses win only through explicit updates/publishes, keeping
+// merge idempotent).
+func (n *Node) mergePeerLocked(e wire.Entry) {
+	if e.Key == n.key {
+		return
+	}
+	if _, known := n.peers[e.Key]; !known {
+		n.peers[e.Key] = e
+	}
+}
+
+func (n *Node) knownEntriesLocked() []wire.Entry {
+	out := make([]wire.Entry, 0, len(n.peers))
+	for _, e := range n.peers {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// KnownPeers returns the node's current membership view (including
+// itself), sorted by key.
+func (n *Node) KnownPeers() []wire.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.knownEntriesLocked()
+}
+
+// Registry returns R(self): the entries registered as interested in this
+// node's movement.
+func (n *Node) Registry() []wire.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]wire.Entry, 0, len(n.registry))
+	for _, e := range n.registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// --- client-side operations ---
+
+// request dials addr, sends m, and waits for one response, bounded by
+// RequestTimeout (the connection is torn down on expiry, unblocking Recv).
+func (n *Node) request(addr string, m *wire.Message) (*wire.Message, error) {
+	conn, err := n.tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	timer := time.AfterFunc(n.cfg.RequestTimeout, func() { conn.Close() })
+	defer timer.Stop()
+	n.mu.Lock()
+	n.seq++
+	m.Seq = n.seq
+	n.mu.Unlock()
+	if err := conn.Send(m); err != nil {
+		return nil, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// oneWay dials addr and sends m without waiting for a response.
+func (n *Node) oneWay(addr string, m *wire.Message) error {
+	conn, err := n.tr.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return conn.Send(m)
+}
+
+// JoinVia contacts a bootstrap node, announces this node, and adopts the
+// returned membership.
+func (n *Node) JoinVia(bootstrapAddr string) error {
+	resp, err := n.request(bootstrapAddr, &wire.Message{Type: wire.TJoin, Self: n.SelfEntry()})
+	if err != nil {
+		return fmt.Errorf("live: join via %s: %w", bootstrapAddr, err)
+	}
+	if resp.Type != wire.TJoinResp || !resp.Found {
+		return fmt.Errorf("live: join rejected by %s", bootstrapAddr)
+	}
+	n.mu.Lock()
+	for _, e := range resp.Entries {
+		n.mergePeerLocked(e)
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// GossipOnce performs one anti-entropy round with a random known peer,
+// exchanging membership views. Returns the number of entries learned.
+func (n *Node) GossipOnce(rng *rand.Rand) (int, error) {
+	n.mu.Lock()
+	var others []wire.Entry
+	for k, e := range n.peers {
+		if k != n.key {
+			others = append(others, e)
+		}
+	}
+	mine := n.knownEntriesLocked()
+	before := len(n.peers)
+	n.mu.Unlock()
+	if len(others) == 0 {
+		return 0, nil
+	}
+	sort.Slice(others, func(i, j int) bool { return others[i].Key < others[j].Key })
+	target := others[rng.Intn(len(others))]
+	resp, err := n.request(target.Addr, &wire.Message{Type: wire.TLeafExchange, Entries: mine})
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	for _, e := range resp.Entries {
+		n.mergePeerLocked(e)
+	}
+	after := len(n.peers)
+	n.mu.Unlock()
+	return after - before, nil
+}
+
+// ownersOf returns the k known *stationary* peers closest to key, nearest
+// first — location records live in the stationary layer only
+// (Section 2.1), replicated for §2.3.2 availability; mobile peers are
+// never owners (their addresses are exactly what's being resolved).
+func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
+	n.mu.Lock()
+	var cands []wire.Entry
+	for _, e := range n.peers {
+		if !e.Mobile {
+			cands = append(cands, e)
+		}
+	}
+	n.mu.Unlock()
+	if len(cands) == 0 {
+		return nil, errors.New("live: no known stationary peers")
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return hashkey.Closer(key, cands[i].Key, cands[j].Key)
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	return cands[:k], nil
+}
+
+// Publish pushes this node's current address to the owners of its key
+// (the paper's location publication, k-replicated). It succeeds when at
+// least one replica stored the record.
+func (n *Node) Publish() error {
+	owners, err := n.ownersOf(n.key, n.cfg.Replication)
+	if err != nil {
+		return err
+	}
+	self := n.SelfEntry()
+	stored := 0
+	var lastErr error
+	for _, owner := range owners {
+		if owner.Key == n.key {
+			n.handlePublish(&wire.Message{Type: wire.TPublish, Self: self})
+			stored++
+			continue
+		}
+		resp, err := n.request(owner.Addr, &wire.Message{Type: wire.TPublish, Self: self})
+		if err != nil {
+			lastErr = fmt.Errorf("live: publish to %s: %w", owner.Addr, err)
+			continue
+		}
+		if resp.Type != wire.TPublishAck {
+			lastErr = fmt.Errorf("live: unexpected publish response %v", resp.Type)
+			continue
+		}
+		stored++
+	}
+	if stored == 0 {
+		return lastErr
+	}
+	return nil
+}
+
+// Discover resolves key's current address through the location layer,
+// falling over across the record's replicas (§2.3.2).
+func (n *Node) Discover(key hashkey.Key) (string, error) {
+	owners, err := n.ownersOf(key, n.cfg.Replication)
+	if err != nil {
+		return "", err
+	}
+	var lastErr error = ErrNotFound
+	for _, owner := range owners {
+		var resp *wire.Message
+		if owner.Key == n.key {
+			resp = n.handleDiscover(&wire.Message{Type: wire.TDiscover, Key: key})
+		} else {
+			resp, err = n.request(owner.Addr, &wire.Message{Type: wire.TDiscover, Key: key})
+			if err != nil {
+				lastErr = fmt.Errorf("live: discover via %s: %w", owner.Addr, err)
+				continue
+			}
+		}
+		if resp.Type != wire.TDiscoverResp || !resp.Found {
+			continue
+		}
+		n.mu.Lock()
+		n.cache[key] = storedLoc{addr: resp.Self.Addr}
+		n.mu.Unlock()
+		return resp.Self.Addr, nil
+	}
+	if lastErr != ErrNotFound {
+		return "", lastErr
+	}
+	return "", ErrNotFound
+}
+
+// RegisterWith records this node's interest in the movement of the node
+// currently reachable at targetAddr.
+func (n *Node) RegisterWith(targetAddr string) error {
+	resp, err := n.request(targetAddr, &wire.Message{Type: wire.TRegister, Self: n.SelfEntry()})
+	if err != nil {
+		return fmt.Errorf("live: register with %s: %w", targetAddr, err)
+	}
+	if resp.Type != wire.TRegisterAck || !resp.Found {
+		return fmt.Errorf("live: registration rejected by %s", targetAddr)
+	}
+	return nil
+}
+
+// Rebind moves a mobile node to a new listener (a new network attachment
+// point), republishes its location, and pushes the update through its
+// dissemination tree.
+func (n *Node) Rebind(listenAddr string) error {
+	if !n.cfg.Mobile {
+		return errors.New("live: node is not mobile")
+	}
+	newL, err := n.tr.Listen(listenAddr)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	old := n.listener
+	n.listener = newL
+	n.addr = newL.Addr()
+	n.peers[n.key] = n.selfEntryLocked()
+	n.mu.Unlock()
+	if old != nil {
+		old.Close() // the old attachment point disappears
+	}
+	n.wg.Add(1)
+	go n.acceptLoop(newL)
+	n.logf("rebound to %s", n.Addr())
+
+	if err := n.Publish(); err != nil {
+		return err
+	}
+	return n.UpdateRegistry()
+}
+
+// UpdateRegistry pushes this node's current address to every registered
+// node through the capacity-aware LDT of Figure 4.
+func (n *Node) UpdateRegistry() error {
+	n.mu.Lock()
+	members := make([]ldt.Member, 0, len(n.registry))
+	index := make(map[int32]wire.Entry, len(n.registry))
+	i := int32(1)
+	for _, e := range n.registry {
+		members = append(members, ldt.Member{ID: i, Capacity: e.Capacity})
+		index[i] = e
+		i++
+	}
+	self := n.selfEntryLocked()
+	rootCap := n.cfg.Capacity
+	n.mu.Unlock()
+	if len(members) == 0 {
+		return nil
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a].ID < members[b].ID })
+
+	tree, err := ldt.Build(ldt.Member{ID: 0, Capacity: rootCap}, members, ldt.Params{UnitCost: 1})
+	if err != nil {
+		return err
+	}
+	// Convert the tree's first level into wire delegations: each direct
+	// child receives its whole subtree as entries. A dead delegate is not
+	// an error: its subtree simply misses the push and recovers through
+	// late binding (§2.3.2) — the advertisement is best-effort.
+	for _, child := range tree.Root.Children {
+		entry, ok := index[child.Member.ID]
+		if !ok {
+			continue
+		}
+		delegated := collectSubtree(child, index)
+		msg := &wire.Message{Type: wire.TUpdate, Self: self, Entries: delegated}
+		if err := n.oneWay(entry.Addr, msg); err != nil {
+			n.logf("update delegation to %s failed: %v", entry.Addr, err)
+		}
+	}
+	return nil
+}
+
+// advertise forwards an update to the heads of a delegated subset,
+// re-partitioning by capacity (the receiving node runs Figure 4 on the
+// subset it was handed).
+func (n *Node) advertise(subject wire.Entry, delegated []wire.Entry) {
+	if len(delegated) == 0 {
+		return
+	}
+	members := make([]ldt.Member, len(delegated))
+	index := make(map[int32]wire.Entry, len(delegated))
+	for i, e := range delegated {
+		id := int32(i + 1)
+		members[i] = ldt.Member{ID: id, Capacity: e.Capacity}
+		index[id] = e
+	}
+	tree, err := ldt.Build(ldt.Member{ID: 0, Capacity: n.cfg.Capacity}, members, ldt.Params{UnitCost: 1})
+	if err != nil {
+		n.logf("advertise: %v", err)
+		return
+	}
+	for _, child := range tree.Root.Children {
+		entry, ok := index[child.Member.ID]
+		if !ok {
+			continue
+		}
+		sub := collectSubtree(child, index)
+		if err := n.oneWay(entry.Addr, &wire.Message{Type: wire.TUpdate, Self: subject, Entries: sub}); err != nil {
+			n.logf("advertise to %s: %v", entry.Addr, err)
+		}
+	}
+}
+
+// collectSubtree gathers the wire entries of every node strictly below
+// root in the tree (root itself is the recipient).
+func collectSubtree(root *ldt.Node, index map[int32]wire.Entry) []wire.Entry {
+	var out []wire.Entry
+	var rec func(*ldt.Node)
+	rec = func(t *ldt.Node) {
+		for _, c := range t.Children {
+			if e, ok := index[c.Member.ID]; ok {
+				out = append(out, e)
+			}
+			rec(c)
+		}
+	}
+	rec(root)
+	return out
+}
+
+// CachedAddr returns this node's cached address for key, if fresh.
+func (n *Node) CachedAddr(key hashkey.Key) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rec, ok := n.cache[key]
+	if !ok || !rec.valid(time.Now()) {
+		return "", false
+	}
+	return rec.addr, true
+}
+
+// Ping checks liveness of a peer address.
+func (n *Node) Ping(addr string) error {
+	resp, err := n.request(addr, &wire.Message{Type: wire.TPing})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.TPong {
+		return fmt.Errorf("live: unexpected ping response %v", resp.Type)
+	}
+	return nil
+}

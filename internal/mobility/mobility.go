@@ -1,0 +1,115 @@
+// Package mobility generates the movement workloads the evaluation drives
+// Bristle with: which nodes are mobile, when each moves to a new network
+// attachment point, and the lease/refresh timing that governs state
+// freshness (Section 2.3.2's early/late binding).
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bristle/internal/simnet"
+)
+
+// Move is one scheduled re-attachment of a host.
+type Move struct {
+	At   simnet.Time
+	Host simnet.HostID
+}
+
+// Schedule is a time-ordered list of movement events.
+type Schedule []Move
+
+// Params configures workload generation.
+type Params struct {
+	// Horizon is the simulated duration over which moves are scheduled.
+	Horizon simnet.Time
+	// MeanInterval is the mean time between consecutive moves of one
+	// mobile host (exponential inter-arrival, a Poisson movement process).
+	MeanInterval simnet.Time
+	// Jitter, if true, staggers each host's first move uniformly so the
+	// population does not move in lockstep. Default workloads want this.
+	Jitter bool
+}
+
+func (p Params) validate() error {
+	if p.Horizon <= 0 {
+		return fmt.Errorf("mobility: Horizon must be positive, got %v", p.Horizon)
+	}
+	if p.MeanInterval <= 0 {
+		return fmt.Errorf("mobility: MeanInterval must be positive, got %v", p.MeanInterval)
+	}
+	return nil
+}
+
+// Generate produces a movement schedule for the given mobile hosts. Each
+// host moves at exponential intervals with the configured mean until the
+// horizon. The result is sorted by time.
+func Generate(hosts []simnet.HostID, p Params, rng *rand.Rand) (Schedule, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	var sched Schedule
+	for _, h := range hosts {
+		t := simnet.Time(0)
+		if p.Jitter {
+			t = simnet.Time(rng.Float64()) * p.MeanInterval
+		}
+		for {
+			t += simnet.Time(rng.ExpFloat64()) * p.MeanInterval
+			if t > p.Horizon {
+				break
+			}
+			sched = append(sched, Move{At: t, Host: h})
+		}
+	}
+	sort.Slice(sched, func(i, j int) bool {
+		if sched[i].At != sched[j].At {
+			return sched[i].At < sched[j].At
+		}
+		return sched[i].Host < sched[j].Host
+	})
+	return sched, nil
+}
+
+// Apply installs the schedule into the simulator: at each move time the
+// host re-attaches to a random stub router and onMove (if non-nil) is
+// invoked with the new address — the hook Bristle uses to trigger location
+// updates.
+func (s Schedule) Apply(sim *simnet.Simulator, net *simnet.Network, rng *rand.Rand,
+	onMove func(h simnet.HostID, addr simnet.Addr)) {
+	for _, mv := range s {
+		mv := mv
+		sim.At(mv.At, func() {
+			addr := net.MoveRandom(mv.Host, rng)
+			if onMove != nil {
+				onMove(mv.Host, addr)
+			}
+		})
+	}
+}
+
+// CountByHost returns the number of scheduled moves per host.
+func (s Schedule) CountByHost() map[simnet.HostID]int {
+	out := make(map[simnet.HostID]int)
+	for _, mv := range s {
+		out[mv.Host]++
+	}
+	return out
+}
+
+// PickMobile selects m distinct hosts out of n (IDs 0..n-1) uniformly at
+// random to act as the mobile population; the rest are stationary.
+func PickMobile(n, m int, rng *rand.Rand) []simnet.HostID {
+	if m > n {
+		m = n
+	}
+	perm := rng.Perm(n)
+	out := make([]simnet.HostID, m)
+	for i := 0; i < m; i++ {
+		out[i] = simnet.HostID(perm[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

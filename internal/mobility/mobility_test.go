@@ -1,0 +1,132 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"bristle/internal/simnet"
+	"bristle/internal/topology"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(nil, Params{Horizon: 0, MeanInterval: 1}, rng); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Generate(nil, Params{Horizon: 10, MeanInterval: 0}, rng); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestGenerateSortedWithinHorizon(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hosts := []simnet.HostID{0, 1, 2, 3, 4}
+	sched, err := Generate(hosts, Params{Horizon: 100, MeanInterval: 5, Jitter: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) == 0 {
+		t.Fatal("empty schedule for 5 hosts over 20 mean intervals")
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i].At < sched[i-1].At {
+			t.Fatal("schedule not sorted")
+		}
+	}
+	for _, mv := range sched {
+		if mv.At > 100 || mv.At < 0 {
+			t.Fatalf("move at %v outside horizon", mv.At)
+		}
+	}
+}
+
+func TestGenerateMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hosts := make([]simnet.HostID, 50)
+	for i := range hosts {
+		hosts[i] = simnet.HostID(i)
+	}
+	sched, err := Generate(hosts, Params{Horizon: 1000, MeanInterval: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ~100 moves per host ⇒ ~5000 total; allow wide tolerance.
+	if len(sched) < 4000 || len(sched) > 6000 {
+		t.Fatalf("total moves %d, expected ≈5000", len(sched))
+	}
+	counts := sched.CountByHost()
+	if len(counts) != 50 {
+		t.Fatalf("only %d hosts moved", len(counts))
+	}
+}
+
+func TestApplyMovesHosts(t *testing.T) {
+	g, err := topology.GenerateTransitStub(topology.TransitStubParams{
+		TransitDomains: 1, TransitPerDomain: 2,
+		StubsPerTransit: 3, StubPerDomain: 4, EdgeProb: 0.3,
+	}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim simnet.Simulator
+	net := simnet.NewNetwork(g, &sim)
+	rng := rand.New(rand.NewSource(5))
+	h := net.AttachHostRandom(rng)
+	orig := net.AddrOf(h)
+
+	sched := Schedule{{At: 1, Host: h}, {At: 2, Host: h}}
+	callbacks := 0
+	var lastAddr simnet.Addr
+	sched.Apply(&sim, net, rng, func(host simnet.HostID, addr simnet.Addr) {
+		if host != h {
+			t.Errorf("callback for wrong host %d", host)
+		}
+		callbacks++
+		lastAddr = addr
+	})
+	sim.RunAll()
+	if callbacks != 2 {
+		t.Fatalf("callbacks = %d, want 2", callbacks)
+	}
+	if net.Valid(orig) {
+		t.Fatal("original address still valid after moves")
+	}
+	if !net.Valid(lastAddr) {
+		t.Fatal("final reported address not valid")
+	}
+	if lastAddr.Epoch != orig.Epoch+2 {
+		t.Fatalf("epoch advanced %d→%d, want +2", orig.Epoch, lastAddr.Epoch)
+	}
+}
+
+func TestPickMobileDistinctAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	picked := PickMobile(100, 30, rng)
+	if len(picked) != 30 {
+		t.Fatalf("picked %d, want 30", len(picked))
+	}
+	seen := map[simnet.HostID]bool{}
+	for _, h := range picked {
+		if h < 0 || int(h) >= 100 {
+			t.Fatalf("host %d out of range", h)
+		}
+		if seen[h] {
+			t.Fatalf("host %d picked twice", h)
+		}
+		seen[h] = true
+	}
+	// Over-asking clamps.
+	if got := PickMobile(5, 99, rng); len(got) != 5 {
+		t.Fatalf("over-ask returned %d", len(got))
+	}
+}
+
+func TestPickMobileSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	picked := PickMobile(1000, 100, rng)
+	for i := 1; i < len(picked); i++ {
+		if picked[i-1] >= picked[i] {
+			t.Fatal("PickMobile result not sorted/unique")
+		}
+	}
+}

@@ -1,0 +1,483 @@
+// Package overlay implements the hash-based structured P2P substrate that
+// Bristle is deployed on (the role Tornado [2] plays in the paper).
+//
+// The overlay is a bidirectional greedy ring: every node keeps a leaf set
+// (its closest neighbors clockwise and counter-clockwise) plus log-spaced
+// finger entries in both directions, optionally chosen by network proximity
+// among key-eligible candidates (proximity neighbor selection, the paper's
+// Section 3 optimization (1)). Routing is *monotone*: the source picks the
+// shorter arc direction and every hop moves strictly toward the target key
+// without overshooting, so all intermediate keys lie on the source→target
+// arc. That property is exactly what the clustered naming scheme's
+// Equation (1) requires, and what Figure 6 depicts.
+//
+// The package provides every HS-P2P property the paper relies on:
+// O(log N) per-node state, O(log N) route hops, join/leave with local
+// repair, periodic refresh (finger rebuild), and a replication
+// neighborhood of the k nodes closest to a key.
+package overlay
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/simnet"
+)
+
+// NodeID identifies an overlay node within a Ring. IDs are dense and never
+// reused; departed nodes keep their IDs but are marked dead.
+type NodeID int32
+
+// NoNode is the sentinel for "no node".
+const NoNode NodeID = -1
+
+// Ref is a state-pair's identity half: the hash key and node it names.
+// (The address half lives in Bristle's state tables; the plain overlay
+// resolves addresses through the simnet directly.)
+type Ref struct {
+	Key hashkey.Key
+	ID  NodeID
+}
+
+// Config tunes the overlay geometry.
+type Config struct {
+	// LeafSize is the number of leaf-set entries kept on each side of a
+	// node (clockwise and counter-clockwise). Minimum effective value 1.
+	LeafSize int
+
+	// ProximityChoices is how many key-eligible candidates are examined
+	// when filling each finger entry; the nearest by underlay distance
+	// wins. 0 disables proximity neighbor selection (first candidate wins).
+	ProximityChoices int
+}
+
+// DefaultConfig mirrors common structured-overlay deployments: 4 leaves
+// per side and 3-way proximity choice.
+func DefaultConfig() Config {
+	return Config{LeafSize: 4, ProximityChoices: 3}
+}
+
+func (c *Config) sanitize() {
+	if c.LeafSize < 1 {
+		c.LeafSize = 1
+	}
+	if c.ProximityChoices < 0 {
+		c.ProximityChoices = 0
+	}
+}
+
+// Node is one overlay participant's routing state.
+type Node struct {
+	Ref  Ref
+	Host simnet.HostID
+
+	// Leaf sets ordered by increasing arc distance from Ref.Key.
+	leafCW  []Ref
+	leafCCW []Ref
+
+	// Fingers per direction, deduplicated, ordered by increasing directed
+	// distance. Each entry is roughly the first node ≥ 2^i away.
+	fingersCW  []Ref
+	fingersCCW []Ref
+}
+
+// Neighbors returns every distinct state entry the node maintains, leaf
+// sets first. The slice is freshly allocated.
+func (n *Node) Neighbors() []Ref {
+	seen := make(map[NodeID]bool, len(n.leafCW)+len(n.leafCCW)+len(n.fingersCW)+len(n.fingersCCW))
+	var out []Ref
+	add := func(rs []Ref) {
+		for _, r := range rs {
+			if !seen[r.ID] {
+				seen[r.ID] = true
+				out = append(out, r)
+			}
+		}
+	}
+	add(n.leafCW)
+	add(n.leafCCW)
+	add(n.fingersCW)
+	add(n.fingersCCW)
+	return out
+}
+
+// StateSize returns the number of distinct routing-state entries, the
+// paper's per-node memory overhead (§2.3.2 scalability property).
+func (n *Node) StateSize() int { return len(n.Neighbors()) }
+
+// Ring is a structured overlay instance. It is not safe for concurrent
+// mutation; experiments drive it from a single goroutine (the simulator).
+type Ring struct {
+	cfg   Config
+	net   *simnet.Network // may be nil: proximity selection disabled
+	nodes []*Node         // indexed by NodeID; nil entries are departed
+	alive int
+
+	// sorted is the key-ordered membership index. It is the simulation
+	// oracle used to *construct* routing state (standing in for the join
+	// message walk of Figure 5); routing itself uses only per-node state.
+	sorted []Ref
+}
+
+// NewRing creates an empty overlay. net may be nil when no underlay
+// proximity information is available or wanted.
+func NewRing(cfg Config, net *simnet.Network) *Ring {
+	cfg.sanitize()
+	return &Ring{cfg: cfg, net: net}
+}
+
+// Size returns the number of live nodes.
+func (r *Ring) Size() int { return r.alive }
+
+// Node returns the node with the given ID, or nil if departed/unknown.
+func (r *Ring) Node(id NodeID) *Node {
+	if int(id) >= len(r.nodes) || id < 0 {
+		return nil
+	}
+	return r.nodes[id]
+}
+
+// Nodes returns the live nodes in key order. The slice is freshly
+// allocated; the *Node pointers are shared.
+func (r *Ring) Nodes() []*Node {
+	out := make([]*Node, 0, r.alive)
+	for _, ref := range r.sorted {
+		out = append(out, r.nodes[ref.ID])
+	}
+	return out
+}
+
+// AddNode joins a node with the given key and host, builds its routing
+// state (Figure 5: collect states from the nodes a join walk would visit,
+// preferring network-close candidates), and repairs the leaf sets of its
+// new neighbors. Fingers of existing nodes are refreshed lazily via
+// Stabilize, as in deployed systems. Duplicate keys are rejected.
+func (r *Ring) AddNode(key hashkey.Key, host simnet.HostID) (NodeID, error) {
+	idx := r.searchIndex(key)
+	if idx < len(r.sorted) && r.sorted[idx].Key == key {
+		return NoNode, fmt.Errorf("overlay: key %v already present", key)
+	}
+	id := NodeID(len(r.nodes))
+	n := &Node{Ref: Ref{Key: key, ID: id}, Host: host}
+	r.nodes = append(r.nodes, n)
+
+	// Insert into the sorted index.
+	r.sorted = append(r.sorted, Ref{})
+	copy(r.sorted[idx+1:], r.sorted[idx:])
+	r.sorted[idx] = n.Ref
+	r.alive++
+
+	r.buildLeafSets(n)
+	r.buildFingers(n)
+	r.repairAround(key)
+	return id, nil
+}
+
+// RemoveNode departs a node. Its neighbors' leaf sets are repaired; stale
+// finger entries elsewhere are tolerated by routing (dead entries are
+// skipped) and cleaned by Stabilize.
+func (r *Ring) RemoveNode(id NodeID) error {
+	n := r.Node(id)
+	if n == nil {
+		return fmt.Errorf("overlay: node %d unknown or departed", id)
+	}
+	idx := r.searchIndex(n.Ref.Key)
+	if idx >= len(r.sorted) || r.sorted[idx].ID != id {
+		return fmt.Errorf("overlay: index corrupt for node %d", id)
+	}
+	r.sorted = append(r.sorted[:idx], r.sorted[idx+1:]...)
+	r.nodes[id] = nil
+	r.alive--
+	if r.alive > 0 {
+		r.repairAround(n.Ref.Key)
+	}
+	return nil
+}
+
+// Stabilize rebuilds leaf sets and fingers of every live node, the
+// simulation analogue of the periodic state refresh in §2.3.3.
+func (r *Ring) Stabilize() {
+	for _, ref := range r.sorted {
+		n := r.nodes[ref.ID]
+		r.buildLeafSets(n)
+		r.buildFingers(n)
+	}
+}
+
+// searchIndex returns the first index in sorted whose key is >= key.
+func (r *Ring) searchIndex(key hashkey.Key) int {
+	return sort.Search(len(r.sorted), func(i int) bool {
+		return r.sorted[i].Key >= key
+	})
+}
+
+// successorIdx returns the index of the first node clockwise from key
+// (including key itself), wrapping.
+func (r *Ring) successorIdx(key hashkey.Key) int {
+	idx := r.searchIndex(key)
+	if idx == len(r.sorted) {
+		return 0
+	}
+	return idx
+}
+
+// Closest returns the live node whose key is nearest to target by
+// shortest-arc distance (ties clockwise) — the membership oracle used to
+// verify routing.
+func (r *Ring) Closest(target hashkey.Key) *Node {
+	if r.alive == 0 {
+		return nil
+	}
+	i := r.successorIdx(target)
+	succ := r.sorted[i]
+	pred := r.sorted[(i-1+len(r.sorted))%len(r.sorted)]
+	if hashkey.Closer(target, pred.Key, succ.Key) {
+		return r.nodes[pred.ID]
+	}
+	return r.nodes[succ.ID]
+}
+
+// Neighborhood returns the k live nodes closest to key (the replication
+// set of §2.3.2 availability property), nearest first.
+func (r *Ring) Neighborhood(key hashkey.Key, k int) []*Node {
+	if k <= 0 || r.alive == 0 {
+		return nil
+	}
+	if k > r.alive {
+		k = r.alive
+	}
+	out := make([]*Node, 0, k)
+	n := len(r.sorted)
+	up := r.successorIdx(key)
+	down := (up - 1 + n) % n
+	for len(out) < k {
+		upRef := r.sorted[up%n]
+		downRef := r.sorted[(down+n)%n]
+		if len(out)+1 < k && upRef.ID != downRef.ID {
+			if hashkey.Closer(key, upRef.Key, downRef.Key) {
+				out = append(out, r.nodes[upRef.ID])
+				up++
+			} else {
+				out = append(out, r.nodes[downRef.ID])
+				down--
+			}
+			continue
+		}
+		if hashkey.Closer(key, upRef.Key, downRef.Key) || upRef.ID == downRef.ID {
+			out = append(out, r.nodes[upRef.ID])
+			up++
+		} else {
+			out = append(out, r.nodes[downRef.ID])
+			down--
+		}
+	}
+	return out
+}
+
+// buildLeafSets fills n's leaf sets from the membership index.
+func (r *Ring) buildLeafSets(n *Node) {
+	l := r.cfg.LeafSize
+	n.leafCW = n.leafCW[:0]
+	n.leafCCW = n.leafCCW[:0]
+	m := len(r.sorted)
+	if m <= 1 {
+		return
+	}
+	self := r.searchIndex(n.Ref.Key)
+	for i := 1; i <= l && i < m; i++ {
+		n.leafCW = append(n.leafCW, r.sorted[(self+i)%m])
+		n.leafCCW = append(n.leafCCW, r.sorted[(self-i+m*2)%m])
+	}
+}
+
+// buildFingers fills n's finger tables with proximity neighbor selection.
+// For each power-of-two distance band [2^i, 2^(i+1)) in each direction the
+// node keeps one entry; among up to ProximityChoices+1 candidates in the
+// band, the underlay-nearest is chosen.
+func (r *Ring) buildFingers(n *Node) {
+	n.fingersCW = r.buildFingerDir(n, hashkey.CW, n.fingersCW[:0])
+	n.fingersCCW = r.buildFingerDir(n, hashkey.CCW, n.fingersCCW[:0])
+}
+
+func (r *Ring) buildFingerDir(n *Node, dir hashkey.Direction, out []Ref) []Ref {
+	m := len(r.sorted)
+	if m <= 1 {
+		return out
+	}
+	lastID := NoNode
+	for i := uint(0); i < hashkey.RingBits; i++ {
+		lo := uint64(1) << i
+		var hi uint64
+		if i == hashkey.RingBits-1 {
+			hi = ^uint64(0)
+		} else {
+			hi = (uint64(1) << (i + 1)) - 1
+		}
+		ref, ok := r.pickInBand(n, dir, lo, hi)
+		if !ok || ref.ID == lastID || ref.ID == n.Ref.ID {
+			continue
+		}
+		out = append(out, ref)
+		lastID = ref.ID
+	}
+	return out
+}
+
+// pickInBand selects a node at directed distance within [lo, hi] from n in
+// dir, proximity-preferring. Returns false if the band is empty.
+func (r *Ring) pickInBand(n *Node, dir hashkey.Direction, lo, hi uint64) (Ref, bool) {
+	m := len(r.sorted)
+	// First candidate: the first node at directed distance >= lo.
+	var startKey hashkey.Key
+	var first int
+	if dir == hashkey.CW {
+		startKey = n.Ref.Key + hashkey.Key(lo)
+		first = r.successorIdx(startKey)
+	} else {
+		startKey = n.Ref.Key - hashkey.Key(lo)
+		// First node counter-clockwise from startKey: predecessor-or-equal.
+		idx := r.searchIndex(startKey)
+		if idx < m && r.sorted[idx].Key == startKey {
+			first = idx
+		} else {
+			first = (idx - 1 + m) % m
+		}
+	}
+	best := Ref{ID: NoNode}
+	bestDist := 0.0
+	step := 1
+	if dir == hashkey.CCW {
+		step = m - 1 // walk backwards via modular arithmetic
+	}
+	idx := first
+	checked := 0
+	limit := r.cfg.ProximityChoices + 1
+	for checked < limit {
+		ref := r.sorted[idx%m]
+		d := hashkey.DirectedDistance(n.Ref.Key, ref.Key, dir)
+		if d < lo || d > hi || ref.ID == n.Ref.ID {
+			break
+		}
+		if best.ID == NoNode {
+			best = ref
+			if r.net != nil && limit > 1 {
+				bestDist = r.net.Cost(n.Host, r.nodes[ref.ID].Host)
+			} else {
+				break // no proximity selection: first match wins
+			}
+		} else {
+			d := r.net.Cost(n.Host, r.nodes[ref.ID].Host)
+			if d < bestDist {
+				best, bestDist = ref, d
+			}
+		}
+		checked++
+		idx = (idx + step) % m
+		if idx == first {
+			break
+		}
+	}
+	if best.ID == NoNode {
+		return Ref{}, false
+	}
+	return best, true
+}
+
+// repairAround rebuilds the leaf sets of the LeafSize nodes on each side
+// of key (local join/leave repair).
+func (r *Ring) repairAround(key hashkey.Key) {
+	m := len(r.sorted)
+	if m == 0 {
+		return
+	}
+	start := r.successorIdx(key)
+	for off := -r.cfg.LeafSize; off <= r.cfg.LeafSize; off++ {
+		ref := r.sorted[((start+off)%m+m)%m]
+		r.buildLeafSets(r.nodes[ref.ID])
+	}
+}
+
+// log2ceil returns ⌈log₂ n⌉ for n ≥ 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// --- substrate-interface adapters ---------------------------------------
+//
+// Bristle's core treats its two layers as abstract HS-P2P substrates so
+// that other overlays (e.g. the Chord-style one in internal/chord) can
+// stand in for this ring, per the paper's closing claim that the concept
+// applies to existing HS-P2Ps. The methods below express the Ring in
+// those substrate terms.
+
+// Alive reports whether the node is a live member.
+func (r *Ring) Alive(id NodeID) bool { return r.Node(id) != nil }
+
+// HostOf returns the node's underlay host, if the node is live.
+func (r *Ring) HostOf(id NodeID) (simnet.HostID, bool) {
+	n := r.Node(id)
+	if n == nil {
+		return simnet.NoHost, false
+	}
+	return n.Host, true
+}
+
+// RefOf returns the node's Ref, if live.
+func (r *Ring) RefOf(id NodeID) (Ref, bool) {
+	n := r.Node(id)
+	if n == nil {
+		return Ref{}, false
+	}
+	return n.Ref, true
+}
+
+// NeighborsOf returns the node's distinct state entries (nil for departed
+// nodes).
+func (r *Ring) NeighborsOf(id NodeID) []Ref {
+	n := r.Node(id)
+	if n == nil {
+		return nil
+	}
+	return n.Neighbors()
+}
+
+// ClosestRef returns the Ref of the live node closest to target.
+func (r *Ring) ClosestRef(target hashkey.Key) (Ref, bool) {
+	n := r.Closest(target)
+	if n == nil {
+		return Ref{}, false
+	}
+	return n.Ref, true
+}
+
+// NeighborhoodRefs returns the Refs of the k live nodes closest to key,
+// nearest first.
+func (r *Ring) NeighborhoodRefs(key hashkey.Key, k int) []Ref {
+	nodes := r.Neighborhood(key, k)
+	out := make([]Ref, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Ref
+	}
+	return out
+}
+
+// Refs returns the Refs of all live nodes in key order.
+func (r *Ring) Refs() []Ref {
+	out := make([]Ref, len(r.sorted))
+	copy(out, r.sorted)
+	return out
+}
+
+// StateSizeOf returns the node's routing-state entry count (0 if departed).
+func (r *Ring) StateSizeOf(id NodeID) int {
+	n := r.Node(id)
+	if n == nil {
+		return 0
+	}
+	return n.StateSize()
+}

@@ -1,0 +1,149 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/simnet"
+)
+
+// TestPropertyRouteConvergesOnRandomRings builds fresh rings from random
+// seeds and checks the central correctness property: Route always reaches
+// the oracle-closest node.
+func TestPropertyRouteConvergesOnRandomRings(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8, targetRaw uint64) bool {
+		size := int(sizeRaw%60) + 2
+		rng := rand.New(rand.NewSource(seed))
+		ring := NewRing(DefaultConfig(), nil)
+		for i := 0; i < size; i++ {
+			for {
+				if _, err := ring.AddNode(hashkey.Random(rng), simnet.NoHost); err == nil {
+					break
+				}
+			}
+		}
+		nodes := ring.Nodes()
+		src := nodes[rng.Intn(len(nodes))]
+		target := hashkey.Key(targetRaw)
+		res, err := ring.Route(src.Ref.ID, target, nil)
+		if err != nil {
+			return false
+		}
+		return res.Dest.ID == ring.Closest(target).Ref.ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRouteDeterministic runs the same route twice: identical hop
+// sequences (routing state is static between calls).
+func TestPropertyRouteDeterministic(t *testing.T) {
+	ring, rng := buildRing(t, 200, 31, false)
+	nodes := ring.Nodes()
+	for trial := 0; trial < 100; trial++ {
+		src := nodes[rng.Intn(len(nodes))]
+		target := hashkey.Random(rng)
+		r1, err1 := ring.Route(src.Ref.ID, target, nil)
+		r2, err2 := ring.Route(src.Ref.ID, target, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(r1.Hops) != len(r2.Hops) || r1.Dest != r2.Dest {
+			t.Fatal("route not deterministic")
+		}
+		for i := range r1.Hops {
+			if r1.Hops[i] != r2.Hops[i] {
+				t.Fatal("hop sequences differ")
+			}
+		}
+	}
+}
+
+// TestPropertyNeighborhoodContainsClosest: for any key and k ≥ 1, the
+// replication neighborhood contains the closest node.
+func TestPropertyNeighborhoodContainsClosest(t *testing.T) {
+	ring, rng := buildRing(t, 150, 32, false)
+	f := func(keyRaw uint64, kRaw uint8) bool {
+		key := hashkey.Key(keyRaw)
+		k := int(kRaw%10) + 1
+		nb := ring.Neighborhood(key, k)
+		if len(nb) == 0 {
+			return false
+		}
+		closest := ring.Closest(key)
+		for _, n := range nb {
+			if n.Ref.ID == closest.Ref.ID {
+				return true
+			}
+		}
+		return false
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNeighborhoodExpandsMonotonically: Neighborhood(key, k) is a
+// prefix of Neighborhood(key, k+1).
+func TestPropertyNeighborhoodExpandsMonotonically(t *testing.T) {
+	ring, rng := buildRing(t, 120, 33, false)
+	for trial := 0; trial < 100; trial++ {
+		key := hashkey.Random(rng)
+		k := 1 + rng.Intn(8)
+		small := ring.Neighborhood(key, k)
+		big := ring.Neighborhood(key, k+1)
+		if len(big) != len(small)+1 {
+			t.Fatalf("sizes %d vs %d", len(small), len(big))
+		}
+		for i := range small {
+			if small[i].Ref.ID != big[i].Ref.ID {
+				t.Fatal("neighborhood not a prefix of the larger one")
+			}
+		}
+	}
+}
+
+// TestPropertyLeafSetsMutual: if y is in x's leaf set (closest l on one
+// side), then x is in y's leaf set on the opposite side — ring symmetry
+// after a full Stabilize.
+func TestPropertyLeafSetsMutual(t *testing.T) {
+	ring, _ := buildRing(t, 100, 34, false)
+	ring.Stabilize()
+	for _, x := range ring.Nodes() {
+		for _, yRef := range x.leafCW {
+			y := ring.Node(yRef.ID)
+			found := false
+			for _, back := range y.leafCCW {
+				if back.ID == x.Ref.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("leaf symmetry broken: %d has %d CW but not vice versa",
+					x.Ref.ID, y.Ref.ID)
+			}
+		}
+	}
+}
+
+// TestPropertyStateSizesUniform: no node's state is more than ~4× the
+// median (no hotspots in routing state).
+func TestPropertyStateSizesUniform(t *testing.T) {
+	ring, _ := buildRing(t, 500, 35, false)
+	sizes := []int{}
+	for _, n := range ring.Nodes() {
+		sizes = append(sizes, n.StateSize())
+	}
+	// Median via simple selection.
+	med := sizes[len(sizes)/2]
+	for i, s := range sizes {
+		if s > 4*med+4 {
+			t.Fatalf("node %d state %d vs median %d", i, s, med)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+
+	"bristle/internal/hashkey"
+)
+
+// ErrNoProgress is returned when routing stalls before reaching the
+// closest node (possible only with corrupted state tables).
+var ErrNoProgress = errors.New("overlay: routing made no progress")
+
+// Hop describes one application-level forwarding step.
+type Hop struct {
+	From Ref
+	To   Ref
+	// Final marks the terminal leaf-set adjustment hop (the step from the
+	// arc predecessor of the target to the globally closest node, which
+	// may leave the source→target arc).
+	Final bool
+}
+
+// HopVisitor observes each hop as it is taken. Returning false aborts the
+// route (used by Bristle when an address resolution fails terminally).
+type HopVisitor func(Hop) bool
+
+// RouteResult summarizes a completed route.
+type RouteResult struct {
+	Dest Ref   // node whose key is closest to the target
+	Hops []Hop // application-level hops in order; empty if source was closest
+	Dir  hashkey.Direction
+}
+
+// NumHops returns the application-level hop count.
+func (r *RouteResult) NumHops() int { return len(r.Hops) }
+
+// RouteOptions tune route behaviour beyond the defaults.
+type RouteOptions struct {
+	// ForceDir, when non-nil, routes in the given ring direction instead
+	// of picking the shorter arc at the source — the unidirectional
+	// (Chord-style) discipline used by the Equation (1) analysis, where a
+	// route from x1 to x2 with x1 > x2 must wrap through the low-key
+	// region.
+	ForceDir *hashkey.Direction
+
+	// Prefer, when non-nil, partitions candidate next hops into preferred
+	// and non-preferred. Each hop takes the farthest *preferred* candidate
+	// on the arc; non-preferred candidates are used only when no preferred
+	// one advances. Bristle uses this to keep stationary-to-stationary
+	// routes on stationary forwarders (Section 3 optimization (2)).
+	Prefer func(Ref) bool
+}
+
+// Route forwards a message from the node src toward the node responsible
+// for target, mirroring the paper's Figure 2 loop: while some state entry
+// is closer to the target, forward to it. The route is monotone along the
+// shorter arc from the source key to the target (every intermediate key
+// lies on that arc), followed by at most one leaf-set adjustment hop to
+// the globally closest node.
+//
+// visit (may be nil) observes each hop before it is taken; returning false
+// aborts with the partial result and a nil error — the caller decided to
+// stop, not the overlay.
+func (r *Ring) Route(src NodeID, target hashkey.Key, visit HopVisitor) (RouteResult, error) {
+	return r.RouteWithOptions(src, target, RouteOptions{}, visit)
+}
+
+// RouteWithOptions is Route with an explicit direction and/or next-hop
+// preference policy.
+func (r *Ring) RouteWithOptions(src NodeID, target hashkey.Key, opts RouteOptions, visit HopVisitor) (RouteResult, error) {
+	cur := r.Node(src)
+	if cur == nil {
+		return RouteResult{}, fmt.Errorf("overlay: route from unknown node %d", src)
+	}
+	var dir hashkey.Direction
+	if opts.ForceDir != nil {
+		dir = *opts.ForceDir
+	} else {
+		dir, _ = hashkey.ShorterArc(cur.Ref.Key, target)
+	}
+	res := RouteResult{Dir: dir}
+
+	maxHops := 8 * (log2ceil(r.alive) + 4) // generous safety bound
+	for step := 0; step < maxHops; step++ {
+		next, ok := r.monotoneNextPreferring(cur, target, dir, opts.Prefer)
+		if !ok {
+			break
+		}
+		hop := Hop{From: cur.Ref, To: next}
+		if visit != nil && !visit(hop) {
+			res.Dest = cur.Ref
+			return res, nil
+		}
+		res.Hops = append(res.Hops, hop)
+		nn := r.Node(next.ID)
+		if nn == nil {
+			return res, fmt.Errorf("overlay: routed to departed node %d", next.ID)
+		}
+		cur = nn
+		if cur.Ref.Key == target {
+			res.Dest = cur.Ref
+			return res, nil
+		}
+	}
+
+	// Terminal leaf-set adjustment: cur believes no entry is closer along
+	// the arc; the globally closest node is cur or one of its leaves.
+	best := cur.Ref
+	for _, l := range append(append([]Ref{}, cur.leafCW...), cur.leafCCW...) {
+		if r.Node(l.ID) != nil && hashkey.Closer(target, l.Key, best.Key) {
+			best = l
+		}
+	}
+	if best.ID != cur.Ref.ID {
+		hop := Hop{From: cur.Ref, To: best, Final: true}
+		if visit != nil && !visit(hop) {
+			res.Dest = cur.Ref
+			return res, nil
+		}
+		res.Hops = append(res.Hops, hop)
+		cur = r.Node(best.ID)
+	}
+	res.Dest = cur.Ref
+
+	// Sanity: with healthy state the destination is the oracle-closest node.
+	if len(res.Hops) >= maxHops {
+		return res, ErrNoProgress
+	}
+	return res, nil
+}
+
+// monotoneNextPreferring picks the state entry of cur that makes the
+// largest progress toward target in direction dir without overshooting,
+// restricted to prefer-satisfying candidates when any of them advances.
+// ok is false when no live entry lies strictly between cur and target on
+// the arc.
+func (r *Ring) monotoneNextPreferring(cur *Node, target hashkey.Key, dir hashkey.Direction, prefer func(Ref) bool) (Ref, bool) {
+	remain := hashkey.DirectedDistance(cur.Ref.Key, target, dir)
+	if remain == 0 {
+		return Ref{}, false
+	}
+	var best, bestPref Ref
+	bestAdv, bestPrefAdv := uint64(0), uint64(0)
+	consider := func(refs []Ref) {
+		for _, ref := range refs {
+			if ref.ID == cur.Ref.ID || r.Node(ref.ID) == nil {
+				continue
+			}
+			adv := hashkey.DirectedDistance(cur.Ref.Key, ref.Key, dir)
+			if adv == 0 || adv > remain {
+				continue // behind us or overshooting: not on the arc segment
+			}
+			if adv > bestAdv {
+				bestAdv = adv
+				best = ref
+			}
+			if prefer != nil && prefer(ref) && adv > bestPrefAdv {
+				bestPrefAdv = adv
+				bestPref = ref
+			}
+		}
+	}
+	if dir == hashkey.CW {
+		consider(cur.leafCW)
+		consider(cur.fingersCW)
+	} else {
+		consider(cur.leafCCW)
+		consider(cur.fingersCCW)
+	}
+	if bestPrefAdv > 0 {
+		return bestPref, true
+	}
+	if bestAdv == 0 {
+		return Ref{}, false
+	}
+	return best, true
+}
+
+// RouteGreedy is the non-monotone ablation: each hop moves to the state
+// entry with minimum shortest-arc distance to the target, regardless of
+// direction (it may overshoot and re-cross the target key). Used by the
+// BenchmarkAblationMonotone comparison in DESIGN.md §6.
+func (r *Ring) RouteGreedy(src NodeID, target hashkey.Key, visit HopVisitor) (RouteResult, error) {
+	cur := r.Node(src)
+	if cur == nil {
+		return RouteResult{}, fmt.Errorf("overlay: route from unknown node %d", src)
+	}
+	var res RouteResult
+	maxHops := 8 * (log2ceil(r.alive) + 4)
+	for step := 0; step < maxHops; step++ {
+		best := cur.Ref
+		for _, ref := range cur.Neighbors() {
+			if r.Node(ref.ID) == nil {
+				continue
+			}
+			if hashkey.Closer(target, ref.Key, best.Key) {
+				best = ref
+			}
+		}
+		if best.ID == cur.Ref.ID {
+			res.Dest = cur.Ref
+			return res, nil
+		}
+		hop := Hop{From: cur.Ref, To: best}
+		if visit != nil && !visit(hop) {
+			res.Dest = cur.Ref
+			return res, nil
+		}
+		res.Hops = append(res.Hops, hop)
+		cur = r.Node(best.ID)
+	}
+	res.Dest = cur.Ref
+	return res, ErrNoProgress
+}

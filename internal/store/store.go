@@ -1,0 +1,239 @@
+// Package store implements replicated data placement on a structured
+// overlay — the HS-P2P storage substrate the paper builds on (§2.3.2):
+// "a data item published to a HS-P2P can simply be replicated to k nodes
+// clustered with the hash keys closest to the one represented the data
+// item. Once one of these nodes fails, the requested data item can be
+// rapidly accessed in the remaining k−1 nodes."
+//
+// The store also quantifies the data-churn cost the paper's introduction
+// attributes to mobility: when node keys are bound to addresses (Type A),
+// every movement re-keys a node and forces item transfers; under Bristle
+// keys survive movement and placement is stable.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/overlay"
+)
+
+// ErrNotFound is returned when no replica holds the requested item.
+var ErrNotFound = errors.New("store: item not found")
+
+// Item is one stored object.
+type Item struct {
+	Key     hashkey.Key
+	Value   []byte
+	Version uint64 // monotonically increasing per key
+}
+
+// Stats counts storage-plane traffic.
+type Stats struct {
+	Puts         uint64
+	Gets         uint64
+	GetFallbacks uint64 // reads served by a non-primary replica
+	GetMisses    uint64
+	RouteHops    uint64 // overlay hops spent locating primaries
+	Transfers    uint64 // item copies moved during rebalancing
+	Drops        uint64 // surplus copies removed during rebalancing
+}
+
+// Substrate is the minimal structured-overlay surface the store needs;
+// both internal/overlay.Ring and internal/chord.Chord satisfy it (a
+// subset of core.Substrate).
+type Substrate interface {
+	// Route forwards toward the node responsible for target.
+	Route(src overlay.NodeID, target hashkey.Key, visit overlay.HopVisitor) (overlay.RouteResult, error)
+	// NeighborhoodRefs returns the k-node replication set for key.
+	NeighborhoodRefs(key hashkey.Key, k int) []overlay.Ref
+	// Alive reports node liveness.
+	Alive(id overlay.NodeID) bool
+}
+
+// Store is a replicated key-value layer over a structured overlay. It is
+// not safe for concurrent use (experiments are single-threaded).
+type Store struct {
+	ring Substrate
+	k    int
+
+	// frag holds each node's storage fragment.
+	frag map[overlay.NodeID]map[hashkey.Key]Item
+
+	// Stats accumulates traffic counters.
+	Stats Stats
+}
+
+// New creates a store over the substrate with replication factor k (min 1).
+func New(ring Substrate, k int) *Store {
+	if k < 1 {
+		k = 1
+	}
+	return &Store{
+		ring: ring,
+		k:    k,
+		frag: make(map[overlay.NodeID]map[hashkey.Key]Item),
+	}
+}
+
+// ReplicationFactor returns k.
+func (s *Store) ReplicationFactor() int { return s.k }
+
+// fragOf returns (creating) a node's fragment.
+func (s *Store) fragOf(id overlay.NodeID) map[hashkey.Key]Item {
+	f, ok := s.frag[id]
+	if !ok {
+		f = make(map[hashkey.Key]Item)
+		s.frag[id] = f
+	}
+	return f
+}
+
+// Put routes from the given node to the item's primary and replicates it
+// to the k closest nodes. The new version number is returned.
+func (s *Store) Put(from overlay.NodeID, key hashkey.Key, value []byte) (uint64, error) {
+	res, err := s.ring.Route(from, key, nil)
+	if err != nil {
+		return 0, fmt.Errorf("store: put route: %w", err)
+	}
+	s.Stats.Puts++
+	s.Stats.RouteHops += uint64(res.NumHops())
+
+	version := uint64(1)
+	if cur, ok := s.fragOf(res.Dest.ID)[key]; ok {
+		version = cur.Version + 1
+	}
+	item := Item{Key: key, Value: append([]byte(nil), value...), Version: version}
+	for _, ref := range s.ring.NeighborhoodRefs(key, s.k) {
+		s.fragOf(ref.ID)[key] = item
+	}
+	return version, nil
+}
+
+// Get routes from the given node to the primary and reads the item,
+// falling over to the remaining replicas if the primary lacks it.
+func (s *Store) Get(from overlay.NodeID, key hashkey.Key) (Item, error) {
+	res, err := s.ring.Route(from, key, nil)
+	if err != nil {
+		return Item{}, fmt.Errorf("store: get route: %w", err)
+	}
+	s.Stats.Gets++
+	s.Stats.RouteHops += uint64(res.NumHops())
+
+	if item, ok := s.fragOf(res.Dest.ID)[key]; ok {
+		return item, nil
+	}
+	// §2.3.2 availability: read the remaining k−1 replicas.
+	for _, ref := range s.ring.NeighborhoodRefs(key, s.k) {
+		if ref.ID == res.Dest.ID {
+			continue
+		}
+		if item, ok := s.fragOf(ref.ID)[key]; ok {
+			s.Stats.GetFallbacks++
+			return item, nil
+		}
+	}
+	s.Stats.GetMisses++
+	return Item{}, ErrNotFound
+}
+
+// ItemsOn returns the number of items stored on a node.
+func (s *Store) ItemsOn(id overlay.NodeID) int { return len(s.frag[id]) }
+
+// TotalCopies returns the number of item copies across all fragments.
+func (s *Store) TotalCopies() int {
+	total := 0
+	for _, f := range s.frag {
+		total += len(f)
+	}
+	return total
+}
+
+// DropNode discards a departed node's fragment (the data it held is gone;
+// replicas keep the items alive until Rebalance restores full
+// replication).
+func (s *Store) DropNode(id overlay.NodeID) {
+	delete(s.frag, id)
+}
+
+// Rebalance restores the placement invariant after churn: every item
+// resides on exactly the k live nodes closest to its key. It returns the
+// number of copies transferred to new replicas; surplus copies on nodes
+// that are no longer replicas are dropped. The scan touches every stored
+// item (an anti-entropy sweep a deployment would amortize).
+func (s *Store) Rebalance() (transferred int) {
+	// Gather the authoritative copy (highest version) of every item.
+	latest := make(map[hashkey.Key]Item)
+	for id, f := range s.frag {
+		if !s.ring.Alive(id) {
+			// Fragment of a departed node that was never dropped.
+			delete(s.frag, id)
+			continue
+		}
+		for k, item := range f {
+			if cur, ok := latest[k]; !ok || item.Version > cur.Version {
+				latest[k] = item
+			}
+		}
+	}
+	// Compute desired placement and apply the diff.
+	desired := make(map[overlay.NodeID]map[hashkey.Key]Item, len(s.frag))
+	for k, item := range latest {
+		for _, ref := range s.ring.NeighborhoodRefs(k, s.k) {
+			m, ok := desired[ref.ID]
+			if !ok {
+				m = make(map[hashkey.Key]Item)
+				desired[ref.ID] = m
+			}
+			m[k] = item
+		}
+	}
+	for id, want := range desired {
+		have := s.fragOf(id)
+		for k, item := range want {
+			if cur, ok := have[k]; !ok || cur.Version < item.Version {
+				have[k] = item
+				transferred++
+				s.Stats.Transfers++
+			}
+		}
+	}
+	for id, have := range s.frag {
+		want := desired[id]
+		for k := range have {
+			if want == nil {
+				delete(have, k)
+				s.Stats.Drops++
+				continue
+			}
+			if _, ok := want[k]; !ok {
+				delete(have, k)
+				s.Stats.Drops++
+			}
+		}
+	}
+	return transferred
+}
+
+// CheckPlacement verifies the invariant that every item's replica set is
+// exactly the k closest live nodes; it returns the number of violations
+// (0 after a successful Rebalance).
+func (s *Store) CheckPlacement() int {
+	violations := 0
+	seen := make(map[hashkey.Key]bool)
+	for _, f := range s.frag {
+		for k := range f {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			for _, ref := range s.ring.NeighborhoodRefs(k, s.k) {
+				if _, ok := s.fragOf(ref.ID)[k]; !ok {
+					violations++
+				}
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,376 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bristle/internal/chord"
+	"bristle/internal/hashkey"
+	"bristle/internal/overlay"
+	"bristle/internal/simnet"
+)
+
+func buildRing(t testing.TB, n int, seed int64) (*overlay.Ring, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ring := overlay.NewRing(overlay.DefaultConfig(), nil)
+	for i := 0; i < n; i++ {
+		for {
+			if _, err := ring.AddNode(hashkey.Random(rng), simnet.NoHost); err == nil {
+				break
+			}
+		}
+	}
+	return ring, rng
+}
+
+func anyNode(ring *overlay.Ring, rng *rand.Rand) overlay.NodeID {
+	nodes := ring.Nodes()
+	return nodes[rng.Intn(len(nodes))].Ref.ID
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	ring, rng := buildRing(t, 100, 1)
+	s := New(ring, 3)
+	key := hashkey.FromName("object-1")
+	v, err := s.Put(anyNode(ring, rng), key, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("first version = %d", v)
+	}
+	item, err := s.Get(anyNode(ring, rng), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(item.Value, []byte("hello")) {
+		t.Fatalf("value = %q", item.Value)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	ring, rng := buildRing(t, 50, 2)
+	s := New(ring, 2)
+	if _, err := s.Get(anyNode(ring, rng), hashkey.FromName("ghost")); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if s.Stats.GetMisses != 1 {
+		t.Fatalf("miss counter = %d", s.Stats.GetMisses)
+	}
+}
+
+func TestPutOverwriteBumpsVersion(t *testing.T) {
+	ring, rng := buildRing(t, 80, 3)
+	s := New(ring, 3)
+	key := hashkey.FromName("versioned")
+	from := anyNode(ring, rng)
+	if _, err := s.Put(from, key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Put(from, key, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("second version = %d", v)
+	}
+	item, err := s.Get(from, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(item.Value) != "v2" || item.Version != 2 {
+		t.Fatalf("got %q v%d", item.Value, item.Version)
+	}
+}
+
+func TestReplicationCount(t *testing.T) {
+	ring, rng := buildRing(t, 100, 4)
+	s := New(ring, 4)
+	key := hashkey.FromName("replicated")
+	if _, err := s.Put(anyNode(ring, rng), key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalCopies(); got != 4 {
+		t.Fatalf("copies = %d, want 4", got)
+	}
+	if v := s.CheckPlacement(); v != 0 {
+		t.Fatalf("placement violations = %d", v)
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	// The store must copy values: caller mutation after Put must not leak.
+	ring, rng := buildRing(t, 60, 5)
+	s := New(ring, 2)
+	key := hashkey.FromName("isolated")
+	buf := []byte("original")
+	from := anyNode(ring, rng)
+	if _, err := s.Put(from, key, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "MUTATED!")
+	item, err := s.Get(from, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(item.Value) != "original" {
+		t.Fatalf("stored value aliased caller buffer: %q", item.Value)
+	}
+}
+
+func TestSurvivesPrimaryLoss(t *testing.T) {
+	ring, rng := buildRing(t, 120, 6)
+	s := New(ring, 3)
+	key := hashkey.FromName("durable")
+	from := anyNode(ring, rng)
+	if _, err := s.Put(from, key, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary: the item survives on the k−1 remaining replicas
+	// and the next-closest of them serves the read directly.
+	primary := ring.Closest(key)
+	if err := ring.RemoveNode(primary.Ref.ID); err != nil {
+		t.Fatal(err)
+	}
+	s.DropNode(primary.Ref.ID)
+	if ring.Node(from) == nil {
+		from = anyNode(ring, rng)
+	}
+	item, err := s.Get(from, key)
+	if err != nil {
+		t.Fatalf("read after primary loss: %v", err)
+	}
+	if string(item.Value) != "keep me" {
+		t.Fatalf("value = %q", item.Value)
+	}
+}
+
+func TestGetFallbackWhenPrimaryLacksItem(t *testing.T) {
+	// A node joining right at the key becomes the route destination but
+	// holds no data until the next rebalance: the read must fall over to
+	// the replicas that do.
+	ring, rng := buildRing(t, 120, 6)
+	s := New(ring, 3)
+	key := hashkey.FromName("fallback")
+	from := anyNode(ring, rng)
+	if _, err := s.Put(from, key, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.AddNode(key, simnet.NoHost); err != nil {
+		t.Fatal(err)
+	}
+	item, err := s.Get(from, key)
+	if err != nil {
+		t.Fatalf("read behind fresh join: %v", err)
+	}
+	if string(item.Value) != "keep me" {
+		t.Fatalf("value = %q", item.Value)
+	}
+	if s.Stats.GetFallbacks == 0 {
+		t.Fatal("fallback not recorded")
+	}
+}
+
+func TestRebalanceRestoresReplication(t *testing.T) {
+	ring, rng := buildRing(t, 150, 7)
+	s := New(ring, 3)
+	keys := make([]hashkey.Key, 60)
+	from := anyNode(ring, rng)
+	for i := range keys {
+		keys[i] = hashkey.Random(rng)
+		if _, err := s.Put(from, keys[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill a third of the ring in batches, with an anti-entropy sweep
+	// between batches — replication only protects data when repair runs
+	// faster than correlated replica loss, exactly like a deployment.
+	nodes := ring.Nodes()
+	totalMoved := 0
+	killed := 0
+	for killed < 50 {
+		for batch := 0; batch < 5 && killed < 50; batch++ {
+			victim := nodes[rng.Intn(len(nodes))]
+			if ring.Node(victim.Ref.ID) == nil || victim.Ref.ID == from {
+				continue
+			}
+			if err := ring.RemoveNode(victim.Ref.ID); err != nil {
+				t.Fatal(err)
+			}
+			s.DropNode(victim.Ref.ID)
+			killed++
+		}
+		ring.Stabilize()
+		totalMoved += s.Rebalance()
+	}
+
+	if v := s.CheckPlacement(); v != 0 {
+		t.Fatalf("placement violations after rebalance: %d", v)
+	}
+	if totalMoved == 0 {
+		t.Fatal("rebalance after heavy churn moved nothing — suspicious")
+	}
+	// Every item is still readable with its latest value.
+	for i, k := range keys {
+		item, err := s.Get(from, k)
+		if err != nil {
+			t.Fatalf("item %d lost after churn+rebalance: %v", i, err)
+		}
+		if len(item.Value) != 1 || item.Value[0] != byte(i) {
+			t.Fatalf("item %d corrupted", i)
+		}
+	}
+}
+
+func TestRebalanceDropsSurplus(t *testing.T) {
+	ring, rng := buildRing(t, 100, 8)
+	s := New(ring, 2)
+	key := hashkey.FromName("surplus")
+	from := anyNode(ring, rng)
+	if _, err := s.Put(from, key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A join right at the key shifts the replica set; the old copy
+	// becomes surplus after rebalance.
+	if _, err := ring.AddNode(key, simnet.NoHost); err != nil {
+		t.Fatal(err)
+	}
+	s.Rebalance()
+	if got := s.TotalCopies(); got != 2 {
+		t.Fatalf("copies after join+rebalance = %d, want 2", got)
+	}
+	if v := s.CheckPlacement(); v != 0 {
+		t.Fatalf("placement violations = %d", v)
+	}
+	// The new closest node must hold it now.
+	if s.ItemsOn(ring.Closest(key).Ref.ID) != 1 {
+		t.Fatal("new primary does not hold the item")
+	}
+}
+
+func TestRebalanceKeepsNewestVersion(t *testing.T) {
+	ring, rng := buildRing(t, 100, 9)
+	s := New(ring, 3)
+	key := hashkey.FromName("latest-wins")
+	from := anyNode(ring, rng)
+	for v := 1; v <= 5; v++ {
+		if _, err := s.Put(from, key, []byte{byte(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Rebalance()
+	item, err := s.Get(from, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.Version != 5 || item.Value[0] != 5 {
+		t.Fatalf("got v%d value %v", item.Version, item.Value)
+	}
+}
+
+func TestPlacementStableUnderKeyPreservingMovement(t *testing.T) {
+	// Bristle's whole point for storage: movement does not change keys,
+	// so placement is untouched — zero transfers. (A Type A move re-keys
+	// the node; TestRebalanceDropsSurplus shows a single key shift already
+	// forces transfers.)
+	ring, rng := buildRing(t, 100, 10)
+	s := New(ring, 3)
+	from := anyNode(ring, rng)
+	for i := 0; i < 40; i++ {
+		if _, err := s.Put(from, hashkey.Random(rng), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Movement" that preserves keys = no ring change at all.
+	if moved := s.Rebalance(); moved != 0 {
+		t.Fatalf("key-preserving movement transferred %d copies, want 0", moved)
+	}
+}
+
+func TestPropertyAllPutsReadable(t *testing.T) {
+	ring, rng := buildRing(t, 80, 11)
+	s := New(ring, 3)
+	from := anyNode(ring, rng)
+	f := func(raw []byte, seed uint32) bool {
+		key := hashkey.FromBytes(append(raw, byte(seed)))
+		if _, err := s.Put(from, key, raw); err != nil {
+			return false
+		}
+		item, err := s.Get(from, key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(item.Value, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreOnChordSubstrate(t *testing.T) {
+	// The store is substrate-generic: the same operations run on Chord's
+	// successor-based geometry.
+	rng := rand.New(rand.NewSource(13))
+	ch := chord.New(chord.DefaultConfig(), nil)
+	for i := 0; i < 100; i++ {
+		for {
+			if _, err := ch.AddNode(hashkey.Random(rng), simnet.NoHost); err == nil {
+				break
+			}
+		}
+	}
+	s := New(ch, 3)
+	client := ch.Refs()[0].ID
+	keys := make([]hashkey.Key, 30)
+	for i := range keys {
+		keys[i] = hashkey.Random(rng)
+		if _, err := s.Put(client, keys[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := s.CheckPlacement(); v != 0 {
+		t.Fatalf("placement violations on chord: %d", v)
+	}
+	// Churn + repair still preserves everything.
+	refs := ch.Refs()
+	for i := 0; i < 20; i++ {
+		victim := refs[rng.Intn(len(refs))]
+		if !ch.Alive(victim.ID) || victim.ID == client {
+			continue
+		}
+		if err := ch.RemoveNode(victim.ID); err != nil {
+			t.Fatal(err)
+		}
+		s.DropNode(victim.ID)
+		if i%5 == 4 {
+			ch.Stabilize()
+			s.Rebalance()
+		}
+	}
+	ch.Stabilize()
+	s.Rebalance()
+	for i, k := range keys {
+		item, err := s.Get(client, k)
+		if err != nil {
+			t.Fatalf("item %d lost on chord: %v", i, err)
+		}
+		if item.Value[0] != byte(i) {
+			t.Fatalf("item %d corrupted", i)
+		}
+	}
+}
+
+func TestReplicationClampedToRingSize(t *testing.T) {
+	ring, rng := buildRing(t, 2, 12)
+	s := New(ring, 10)
+	key := hashkey.FromName("tiny-ring")
+	if _, err := s.Put(anyNode(ring, rng), key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalCopies(); got != 2 {
+		t.Fatalf("copies = %d, want 2 (ring size)", got)
+	}
+}

@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes the graph as a plain-text edge list — one
+// "src dst weight" line per undirected edge, preceded by a header line
+// recording each router's level and domain. The format round-trips with
+// ParseEdgeList and is close enough to GT-ITM's alt output that external
+// topologies can be converted with a one-line awk script.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# bristle-topology v1 routers=%d edges=%d\n", g.NumRouters(), g.NumEdges())
+	for r := 0; r < g.NumRouters(); r++ {
+		id := RouterID(r)
+		fmt.Fprintf(bw, "node %d %s %d\n", r, g.LevelOf(id), g.DomainOf(id))
+	}
+	for r := 0; r < g.NumRouters(); r++ {
+		for _, e := range g.Neighbors(RouterID(r)) {
+			if int(e.To) > r {
+				// -1 precision: shortest decimal that round-trips exactly.
+				fmt.Fprintf(bw, "edge %d %d %s\n", r, e.To,
+					strconv.FormatFloat(e.Weight, 'g', -1, 64))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseEdgeList reads a graph in the WriteEdgeList format. Unknown lines
+// starting with '#' are ignored; any other malformed line is an error
+// with its line number.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	g := NewGraph(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topology: line %d: node wants 3 args", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != g.NumRouters() {
+				return nil, fmt.Errorf("topology: line %d: node ids must be dense and ordered", lineNo)
+			}
+			var level Level
+			switch fields[2] {
+			case "transit":
+				level = Transit
+			case "stub":
+				level = Stub
+			default:
+				return nil, fmt.Errorf("topology: line %d: unknown level %q", lineNo, fields[2])
+			}
+			dom, err := strconv.ParseInt(fields[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad domain %q", lineNo, fields[3])
+			}
+			g.AddRouter(level, int32(dom))
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topology: line %d: edge wants 3 args", lineNo)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("topology: line %d: malformed edge", lineNo)
+			}
+			if err := g.AddEdge(RouterID(a), RouterID(b), w); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

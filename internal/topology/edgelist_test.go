@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g1 := mustGen(t, smallParams(), 41)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumRouters() != g2.NumRouters() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d",
+			g1.NumRouters(), g1.NumEdges(), g2.NumRouters(), g2.NumEdges())
+	}
+	for r := 0; r < g1.NumRouters(); r++ {
+		id := RouterID(r)
+		if g1.LevelOf(id) != g2.LevelOf(id) || g1.DomainOf(id) != g2.DomainOf(id) {
+			t.Fatalf("router %d metadata mismatch", r)
+		}
+	}
+	// Shortest paths must be identical (weights survived serialization).
+	d1 := Dijkstra(g1, 0)
+	d2 := Dijkstra(g2, 0)
+	for i := range d1 {
+		if math.Abs(d1[i]-d2[i]) > 1e-9 {
+			t.Fatalf("distance mismatch at %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown record":  "wat 1 2 3\n",
+		"short node":      "node 0 stub\n",
+		"bad level":       "node 0 core 0\n",
+		"non-dense ids":   "node 5 stub 0\n",
+		"short edge":      "node 0 stub 0\nedge 0 1\n",
+		"bad edge weight": "node 0 stub 0\nnode 1 stub 0\nedge 0 1 x\n",
+		"edge to unknown": "node 0 stub 0\nedge 0 9 1.5\n",
+		"self loop":       "node 0 stub 0\nedge 0 0 1.5\n",
+		"negative weight": "node 0 stub 0\nnode 1 stub 0\nedge 0 1 -2\n",
+		"bad domain":      "node 0 stub z\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseEdgeList(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestParseEdgeListIgnoresCommentsAndBlanks(t *testing.T) {
+	input := "# header\n\nnode 0 transit 0\nnode 1 stub 1\n# mid comment\nedge 0 1 2.5\n"
+	g, err := ParseEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRouters() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %d routers %d edges", g.NumRouters(), g.NumEdges())
+	}
+	if g.LevelOf(0) != Transit || g.LevelOf(1) != Stub {
+		t.Fatal("levels wrong")
+	}
+	if w := g.Neighbors(0)[0].Weight; w != 2.5 {
+		t.Fatalf("weight = %v", w)
+	}
+}

@@ -1,0 +1,171 @@
+// Package topology builds the weighted router-level networks the Bristle
+// evaluation runs on.
+//
+// The paper models the underlay as a GT-ITM Transit-Stub topology: a
+// two-level hierarchy where high-level transit domains bridge low-level
+// stub domains. Overlay path costs are sums of link weights along Dijkstra
+// shortest paths (Section 4). This package provides the graph type, the
+// generator, single-source shortest paths with a binary heap, and a
+// per-source distance cache sized for repeated overlay queries.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// RouterID identifies a router (graph vertex). IDs are dense: 0..N-1.
+type RouterID int32
+
+// None is the sentinel for "no router".
+const None RouterID = -1
+
+// Edge is one directed half of an undirected weighted link.
+type Edge struct {
+	To     RouterID
+	Weight float64
+}
+
+// Level classifies a router within the transit-stub hierarchy.
+type Level uint8
+
+const (
+	// Transit routers form the top-level domains bridging stubs.
+	Transit Level = iota
+	// Stub routers form the low-level domains hosts attach to.
+	Stub
+)
+
+// String returns "transit" or "stub".
+func (l Level) String() string {
+	if l == Transit {
+		return "transit"
+	}
+	return "stub"
+}
+
+// Graph is an undirected weighted graph in adjacency-list form.
+// The zero Graph is empty; use AddRouter/AddEdge or the generator.
+type Graph struct {
+	adj    [][]Edge
+	levels []Level
+	domain []int32 // domain index per router (transit domains first)
+	edges  int
+}
+
+// NewGraph returns an empty graph with capacity hints for n routers.
+func NewGraph(n int) *Graph {
+	return &Graph{
+		adj:    make([][]Edge, 0, n),
+		levels: make([]Level, 0, n),
+		domain: make([]int32, 0, n),
+	}
+}
+
+// AddRouter appends a router with the given level and domain index and
+// returns its ID.
+func (g *Graph) AddRouter(level Level, domain int32) RouterID {
+	id := RouterID(len(g.adj))
+	g.adj = append(g.adj, nil)
+	g.levels = append(g.levels, level)
+	g.domain = append(g.domain, domain)
+	return id
+}
+
+// AddEdge inserts an undirected edge with the given weight. Self-loops and
+// non-positive weights are rejected. Duplicate edges are merged keeping the
+// smaller weight.
+func (g *Graph) AddEdge(a, b RouterID, w float64) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop at router %d", a)
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("topology: invalid edge weight %v", w)
+	}
+	if int(a) >= len(g.adj) || int(b) >= len(g.adj) || a < 0 || b < 0 {
+		return fmt.Errorf("topology: edge endpoints %d-%d out of range", a, b)
+	}
+	if g.updateIfPresent(a, b, w) {
+		g.updateIfPresent(b, a, w)
+		return nil
+	}
+	g.adj[a] = append(g.adj[a], Edge{To: b, Weight: w})
+	g.adj[b] = append(g.adj[b], Edge{To: a, Weight: w})
+	g.edges++
+	return nil
+}
+
+func (g *Graph) updateIfPresent(a, b RouterID, w float64) bool {
+	for i := range g.adj[a] {
+		if g.adj[a][i].To == b {
+			if w < g.adj[a][i].Weight {
+				g.adj[a][i].Weight = w
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// NumRouters returns the number of routers.
+func (g *Graph) NumRouters() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// LevelOf returns the hierarchy level of router r.
+func (g *Graph) LevelOf(r RouterID) Level { return g.levels[r] }
+
+// DomainOf returns the domain index of router r.
+func (g *Graph) DomainOf(r RouterID) int32 { return g.domain[r] }
+
+// Neighbors returns the adjacency list of r. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(r RouterID) []Edge { return g.adj[r] }
+
+// StubRouters returns the IDs of all stub-level routers, in ID order.
+func (g *Graph) StubRouters() []RouterID {
+	var out []RouterID
+	for i, l := range g.levels {
+		if l == Stub {
+			out = append(out, RouterID(i))
+		}
+	}
+	return out
+}
+
+// TransitRouters returns the IDs of all transit-level routers, in ID order.
+func (g *Graph) TransitRouters() []RouterID {
+	var out []RouterID
+	for i, l := range g.levels {
+		if l == Transit {
+			out = append(out, RouterID(i))
+		}
+	}
+	return out
+}
+
+// Connected reports whether the graph is a single connected component.
+// The empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	n := len(g.adj)
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []RouterID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == n
+}

@@ -1,0 +1,182 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+)
+
+// Dijkstra computes single-source shortest path distances from src over the
+// graph's link weights. The returned slice is indexed by RouterID;
+// unreachable routers hold +Inf.
+func Dijkstra(g *Graph, src RouterID) []float64 {
+	dist, _ := dijkstraWithParents(g, src, false)
+	return dist
+}
+
+// DijkstraWithParents additionally returns the shortest-path tree parents
+// (None for the source and unreachable routers), enabling path extraction.
+func DijkstraWithParents(g *Graph, src RouterID) ([]float64, []RouterID) {
+	return dijkstraWithParents(g, src, true)
+}
+
+func dijkstraWithParents(g *Graph, src RouterID, wantParents bool) ([]float64, []RouterID) {
+	n := g.NumRouters()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var parent []RouterID
+	if wantParents {
+		parent = make([]RouterID, n)
+		for i := range parent {
+			parent[i] = None
+		}
+	}
+	dist[src] = 0
+
+	pq := &distHeap{items: []distItem{{r: src, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.r] {
+			continue // stale entry
+		}
+		for _, e := range g.Neighbors(it.r) {
+			nd := it.d + e.Weight
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				if wantParents {
+					parent[e.To] = it.r
+				}
+				heap.Push(pq, distItem{r: e.To, d: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Path reconstructs the router sequence from src to dst given the parent
+// array from DijkstraWithParents(g, src). It returns nil if dst is
+// unreachable. The path includes both endpoints.
+func Path(parent []RouterID, src, dst RouterID) []RouterID {
+	if src == dst {
+		return []RouterID{src}
+	}
+	if parent[dst] == None {
+		return nil
+	}
+	var rev []RouterID
+	for at := dst; at != None; at = parent[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type distItem struct {
+	r RouterID
+	d float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// DistanceCache memoizes per-source Dijkstra results. Overlay experiments
+// query distances between the attachment routers of overlay nodes; sources
+// repeat heavily, so caching whole distance vectors amortizes to O(1) per
+// query. The cache is safe for concurrent use and evicts nothing: callers
+// bound memory by bounding distinct sources (MaxSources).
+type DistanceCache struct {
+	g          *Graph
+	mu         sync.RWMutex
+	bySource   map[RouterID][]float64
+	maxSources int
+	hits       uint64
+	misses     uint64
+}
+
+// NewDistanceCache wraps g. maxSources caps the number of cached source
+// vectors; 0 means unlimited. When the cap is reached, further sources are
+// computed on the fly without caching.
+func NewDistanceCache(g *Graph, maxSources int) *DistanceCache {
+	return &DistanceCache{
+		g:          g,
+		bySource:   make(map[RouterID][]float64),
+		maxSources: maxSources,
+	}
+}
+
+// Distance returns the shortest-path cost between routers a and b.
+func (c *DistanceCache) Distance(a, b RouterID) float64 {
+	if a == b {
+		return 0
+	}
+	c.mu.RLock()
+	row, ok := c.bySource[a]
+	if !ok {
+		// Symmetric graph: a row for b serves (a, b) too.
+		row, ok = c.bySource[b]
+		if ok {
+			b = a
+		}
+	}
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return row[b]
+	}
+	dist := Dijkstra(c.g, a)
+	c.mu.Lock()
+	c.misses++
+	if c.maxSources == 0 || len(c.bySource) < c.maxSources {
+		c.bySource[a] = dist
+	}
+	c.mu.Unlock()
+	return dist[b]
+}
+
+// Row returns the full distance vector from src, caching it when capacity
+// allows. The returned slice must not be modified.
+func (c *DistanceCache) Row(src RouterID) []float64 {
+	c.mu.RLock()
+	row, ok := c.bySource[src]
+	c.mu.RUnlock()
+	if ok {
+		return row
+	}
+	dist := Dijkstra(c.g, src)
+	c.mu.Lock()
+	if c.maxSources == 0 || len(c.bySource) < c.maxSources {
+		c.bySource[src] = dist
+	}
+	c.mu.Unlock()
+	return dist
+}
+
+// Stats returns cache hit/miss counters (for tests and tuning).
+func (c *DistanceCache) Stats() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,377 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustGen(t testing.TB, p TransitStubParams, seed int64) *Graph {
+	t.Helper()
+	g, err := GenerateTransitStub(p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("GenerateTransitStub: %v", err)
+	}
+	return g
+}
+
+func smallParams() TransitStubParams {
+	return TransitStubParams{
+		TransitDomains:    2,
+		TransitPerDomain:  3,
+		StubsPerTransit:   2,
+		StubPerDomain:     4,
+		EdgeProb:          0.4,
+		ExtraTransitEdges: 2,
+		WeightJitter:      0.1,
+	}
+}
+
+func TestGraphAddEdgeValidation(t *testing.T) {
+	g := NewGraph(4)
+	a := g.AddRouter(Stub, 0)
+	b := g.AddRouter(Stub, 0)
+	if err := g.AddEdge(a, a, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(a, b, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := g.AddEdge(a, b, -3); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := g.AddEdge(a, b, math.NaN()); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if err := g.AddEdge(a, RouterID(99), 1); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(a, b, 2); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestGraphDuplicateEdgeKeepsMinWeight(t *testing.T) {
+	g := NewGraph(2)
+	a := g.AddRouter(Stub, 0)
+	b := g.AddRouter(Stub, 0)
+	if err := g.AddEdge(a, b, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edge not merged: NumEdges = %d", g.NumEdges())
+	}
+	if w := g.Neighbors(a)[0].Weight; w != 3 {
+		t.Fatalf("merged weight = %v, want 3", w)
+	}
+	if w := g.Neighbors(b)[0].Weight; w != 3 {
+		t.Fatalf("reverse merged weight = %v, want 3", w)
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	p := smallParams()
+	g := mustGen(t, p, 1)
+	wantTransit := p.TransitDomains * p.TransitPerDomain
+	wantStub := wantTransit * p.StubsPerTransit * p.StubPerDomain
+	if got := len(g.TransitRouters()); got != wantTransit {
+		t.Errorf("transit routers = %d, want %d", got, wantTransit)
+	}
+	if got := len(g.StubRouters()); got != wantStub {
+		t.Errorf("stub routers = %d, want %d", got, wantStub)
+	}
+	if g.NumRouters() != wantTransit+wantStub {
+		t.Errorf("total routers = %d, want %d", g.NumRouters(), wantTransit+wantStub)
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := mustGen(t, smallParams(), seed)
+		if !g.Connected() {
+			t.Fatalf("seed %d produced disconnected graph", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1 := mustGen(t, smallParams(), 42)
+	g2 := mustGen(t, smallParams(), 42)
+	if g1.NumRouters() != g2.NumRouters() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	d1 := Dijkstra(g1, 0)
+	d2 := Dijkstra(g2, 0)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("distance mismatch at router %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := GenerateTransitStub(TransitStubParams{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero params accepted")
+	}
+	bad := smallParams()
+	bad.EdgeProb = 1.5
+	if _, err := GenerateTransitStub(bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("EdgeProb > 1 accepted")
+	}
+}
+
+func TestDefaultTransitStubScale(t *testing.T) {
+	p := DefaultTransitStub(10000)
+	g := mustGen(t, p, 7)
+	n := g.NumRouters()
+	if n < 5000 || n > 20000 {
+		t.Errorf("DefaultTransitStub(10000) produced %d routers", n)
+	}
+	if !g.Connected() {
+		t.Error("default topology disconnected")
+	}
+}
+
+func TestDijkstraSourceZeroAndSymmetry(t *testing.T) {
+	g := mustGen(t, smallParams(), 3)
+	src := RouterID(0)
+	dist := Dijkstra(g, src)
+	if dist[src] != 0 {
+		t.Fatalf("dist to self = %v", dist[src])
+	}
+	// Undirected graph ⇒ symmetric metric.
+	other := RouterID(g.NumRouters() - 1)
+	back := Dijkstra(g, other)
+	if math.Abs(dist[other]-back[src]) > 1e-9 {
+		t.Fatalf("asymmetric distances: %v vs %v", dist[other], back[src])
+	}
+}
+
+func TestDijkstraTriangleInequality(t *testing.T) {
+	g := mustGen(t, smallParams(), 4)
+	n := g.NumRouters()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		a := RouterID(rng.Intn(n))
+		b := RouterID(rng.Intn(n))
+		c := RouterID(rng.Intn(n))
+		da := Dijkstra(g, a)
+		db := Dijkstra(g, b)
+		if da[c] > da[b]+db[c]+1e-9 {
+			t.Fatalf("triangle violation: d(%d,%d)=%v > %v+%v", a, c, da[c], da[b], db[c])
+		}
+	}
+}
+
+func TestDijkstraMatchesBellmanFordSmall(t *testing.T) {
+	// Cross-check against a naive O(VE) Bellman-Ford on a small graph.
+	g := mustGen(t, TransitStubParams{
+		TransitDomains: 1, TransitPerDomain: 2,
+		StubsPerTransit: 2, StubPerDomain: 3,
+		EdgeProb: 0.5,
+	}, 5)
+	n := g.NumRouters()
+	src := RouterID(0)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Inf(1)
+	}
+	want[src] = 0
+	for iter := 0; iter < n; iter++ {
+		for v := 0; v < n; v++ {
+			for _, e := range g.Neighbors(RouterID(v)) {
+				if want[v]+e.Weight < want[e.To] {
+					want[e.To] = want[v] + e.Weight
+				}
+			}
+		}
+	}
+	got := Dijkstra(g, src)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("router %d: dijkstra %v, bellman-ford %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPathReconstruction(t *testing.T) {
+	g := mustGen(t, smallParams(), 6)
+	src := RouterID(0)
+	dist, parent := DijkstraWithParents(g, src)
+	for dst := 0; dst < g.NumRouters(); dst += 5 {
+		p := Path(parent, src, RouterID(dst))
+		if p == nil {
+			t.Fatalf("no path to reachable router %d", dst)
+		}
+		if p[0] != src || p[len(p)-1] != RouterID(dst) {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		// Sum of edge weights along the path must equal the distance.
+		sum := 0.0
+		for i := 0; i+1 < len(p); i++ {
+			found := false
+			for _, e := range g.Neighbors(p[i]) {
+				if e.To == p[i+1] {
+					sum += e.Weight
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("path uses nonexistent edge %d-%d", p[i], p[i+1])
+			}
+		}
+		if math.Abs(sum-dist[dst]) > 1e-9 {
+			t.Fatalf("path cost %v != distance %v", sum, dist[dst])
+		}
+	}
+}
+
+func TestPathSelf(t *testing.T) {
+	g := mustGen(t, smallParams(), 6)
+	_, parent := DijkstraWithParents(g, 3)
+	p := Path(parent, 3, 3)
+	if len(p) != 1 || p[0] != 3 {
+		t.Fatalf("self path = %v", p)
+	}
+}
+
+func TestDistanceCacheCorrectAndCached(t *testing.T) {
+	g := mustGen(t, smallParams(), 8)
+	c := NewDistanceCache(g, 0)
+	rng := rand.New(rand.NewSource(10))
+	n := g.NumRouters()
+	for i := 0; i < 100; i++ {
+		a := RouterID(rng.Intn(n))
+		b := RouterID(rng.Intn(n))
+		want := Dijkstra(g, a)[b]
+		if got := c.Distance(a, b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("cache Distance(%d,%d) = %v, want %v", a, b, got, want)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits == 0 {
+		t.Error("expected cache hits after repeated queries")
+	}
+	if misses == 0 {
+		t.Error("expected at least one miss")
+	}
+}
+
+func TestDistanceCacheCap(t *testing.T) {
+	g := mustGen(t, smallParams(), 8)
+	c := NewDistanceCache(g, 2)
+	n := g.NumRouters()
+	for i := 0; i < n; i++ {
+		c.Row(RouterID(i))
+	}
+	c.mu.RLock()
+	size := len(c.bySource)
+	c.mu.RUnlock()
+	if size > 2 {
+		t.Fatalf("cache exceeded cap: %d rows", size)
+	}
+}
+
+func TestDistanceCacheSymmetryShortcut(t *testing.T) {
+	g := mustGen(t, smallParams(), 11)
+	c := NewDistanceCache(g, 0)
+	a, b := RouterID(1), RouterID(5)
+	d1 := c.Distance(a, b)
+	d2 := c.Distance(b, a) // should reuse a's row via symmetry
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("asymmetric cache results: %v vs %v", d1, d2)
+	}
+	hits, _ := c.Stats()
+	if hits == 0 {
+		t.Error("symmetric lookup did not hit cache")
+	}
+}
+
+func TestLevelDomainAccessors(t *testing.T) {
+	g := mustGen(t, smallParams(), 12)
+	for _, r := range g.TransitRouters() {
+		if g.LevelOf(r) != Transit {
+			t.Fatalf("router %d misclassified", r)
+		}
+	}
+	for _, r := range g.StubRouters() {
+		if g.LevelOf(r) != Stub {
+			t.Fatalf("router %d misclassified", r)
+		}
+	}
+	if Transit.String() != "transit" || Stub.String() != "stub" {
+		t.Error("Level.String mismatch")
+	}
+}
+
+func TestStubToStubPathsCrossTransit(t *testing.T) {
+	// A stub router in one domain reaching a stub in another domain must
+	// traverse at least one transit router — the 2-level hierarchy works.
+	g := mustGen(t, smallParams(), 13)
+	stubs := g.StubRouters()
+	var a, b RouterID = None, None
+	for _, s := range stubs {
+		if a == None {
+			a = s
+			continue
+		}
+		if g.DomainOf(s) != g.DomainOf(a) {
+			b = s
+			break
+		}
+	}
+	if a == None || b == None {
+		t.Skip("not enough stub domains")
+	}
+	_, parent := DijkstraWithParents(g, a)
+	p := Path(parent, a, b)
+	sawTransit := false
+	for _, r := range p {
+		if g.LevelOf(r) == Transit {
+			sawTransit = true
+		}
+	}
+	if !sawTransit {
+		t.Fatalf("cross-domain stub path %v bypasses transit level", p)
+	}
+}
+
+func TestConnectedEmptyAndSingle(t *testing.T) {
+	g := NewGraph(0)
+	if !g.Connected() {
+		t.Error("empty graph should be connected")
+	}
+	g.AddRouter(Stub, 0)
+	if !g.Connected() {
+		t.Error("single-router graph should be connected")
+	}
+	g.AddRouter(Stub, 0)
+	if g.Connected() {
+		t.Error("two isolated routers reported connected")
+	}
+}
+
+func TestQuickGeneratedGraphsConnected(t *testing.T) {
+	f := func(seed int64, td, tpd, spt, spd uint8) bool {
+		p := TransitStubParams{
+			TransitDomains:   int(td%3) + 1,
+			TransitPerDomain: int(tpd%4) + 1,
+			StubsPerTransit:  int(spt % 3),
+			StubPerDomain:    int(spd%4) + 1,
+			EdgeProb:         0.3,
+		}
+		g, err := GenerateTransitStub(p, rand.New(rand.NewSource(seed)))
+		return err == nil && g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

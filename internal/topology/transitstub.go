@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TransitStubParams configures the GT-ITM-style generator.
+//
+// The generated topology has:
+//
+//   - TransitDomains top-level domains, each a connected random graph of
+//     TransitPerDomain routers joined by intra-transit edges;
+//   - transit domains interconnected by a ring plus ExtraTransitEdges
+//     random shortcuts (guaranteeing top-level connectivity);
+//   - each transit router attaching StubsPerTransit stub domains, each a
+//     connected random graph of StubPerDomain routers;
+//   - per-class link weights, so shortest-path costs reflect the 2-level
+//     routing hierarchy the paper relies on.
+type TransitStubParams struct {
+	TransitDomains   int // number of transit domains (≥1)
+	TransitPerDomain int // routers per transit domain (≥1)
+	StubsPerTransit  int // stub domains hanging off each transit router (≥0)
+	StubPerDomain    int // routers per stub domain (≥1)
+
+	// EdgeProb is the probability of an extra intra-domain edge beyond the
+	// spanning connectivity ring, for both transit and stub domains.
+	EdgeProb float64
+
+	// ExtraTransitEdges adds this many random transit-transit shortcuts
+	// between distinct domains.
+	ExtraTransitEdges int
+
+	// Link weights per class. Zero values take the defaults, which follow
+	// the usual GT-ITM convention that crossing the hierarchy is costlier:
+	// intra-stub 1, stub-transit 2, intra-transit 5, transit-transit 10.
+	IntraStubWeight      float64
+	StubTransitWeight    float64
+	IntraTransitWeight   float64
+	TransitTransitWeight float64
+
+	// WeightJitter, if positive, multiplies every link weight by a uniform
+	// factor in [1, 1+WeightJitter] so that distinct paths have distinct
+	// costs and Dijkstra tie-breaks don't dominate results.
+	WeightJitter float64
+}
+
+// DefaultTransitStub returns parameters yielding roughly n routers,
+// split 1:9 between transit and stub levels, mirroring the scale of the
+// paper's 10,000-router networks when n = 10000.
+func DefaultTransitStub(n int) TransitStubParams {
+	if n < 20 {
+		n = 20
+	}
+	// Solve approximately: routers = T*Tn*(1 + S*Sn) with T*Tn ≈ n/10.
+	transit := n / 10
+	td := 4
+	tpd := transit / td
+	if tpd < 1 {
+		td, tpd = 1, transit
+	}
+	if tpd < 1 {
+		tpd = 1
+	}
+	// Remaining go to stubs: each transit router carries S stub domains of
+	// size Sn with S*Sn ≈ 9.
+	return TransitStubParams{
+		TransitDomains:    td,
+		TransitPerDomain:  tpd,
+		StubsPerTransit:   3,
+		StubPerDomain:     3,
+		EdgeProb:          0.3,
+		ExtraTransitEdges: td,
+		WeightJitter:      0.2,
+	}
+}
+
+func (p *TransitStubParams) applyDefaults() {
+	if p.IntraStubWeight == 0 {
+		p.IntraStubWeight = 1
+	}
+	if p.StubTransitWeight == 0 {
+		p.StubTransitWeight = 2
+	}
+	if p.IntraTransitWeight == 0 {
+		p.IntraTransitWeight = 5
+	}
+	if p.TransitTransitWeight == 0 {
+		p.TransitTransitWeight = 10
+	}
+}
+
+func (p *TransitStubParams) validate() error {
+	if p.TransitDomains < 1 || p.TransitPerDomain < 1 {
+		return fmt.Errorf("topology: need at least one transit domain and router, got %d×%d",
+			p.TransitDomains, p.TransitPerDomain)
+	}
+	if p.StubsPerTransit < 0 || p.StubPerDomain < 1 && p.StubsPerTransit > 0 {
+		return fmt.Errorf("topology: invalid stub configuration %d×%d",
+			p.StubsPerTransit, p.StubPerDomain)
+	}
+	if p.EdgeProb < 0 || p.EdgeProb > 1 {
+		return fmt.Errorf("topology: EdgeProb %v out of [0,1]", p.EdgeProb)
+	}
+	return nil
+}
+
+// GenerateTransitStub builds a connected transit-stub topology from params
+// using rng for all randomness. The result is deterministic for a fixed
+// seed and parameter set.
+func GenerateTransitStub(p TransitStubParams, rng *rand.Rand) (*Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	p.applyDefaults()
+
+	total := p.TransitDomains * p.TransitPerDomain * (1 + p.StubsPerTransit*p.StubPerDomain)
+	g := NewGraph(total)
+	weight := func(base float64) float64 {
+		if p.WeightJitter > 0 {
+			return base * (1 + rng.Float64()*p.WeightJitter)
+		}
+		return base
+	}
+
+	// Transit domains.
+	transitRouters := make([][]RouterID, p.TransitDomains)
+	domainIdx := int32(0)
+	for d := 0; d < p.TransitDomains; d++ {
+		ids := make([]RouterID, p.TransitPerDomain)
+		for i := range ids {
+			ids[i] = g.AddRouter(Transit, domainIdx)
+		}
+		connectDomain(g, ids, p.EdgeProb, func() float64 { return weight(p.IntraTransitWeight) }, rng)
+		transitRouters[d] = ids
+		domainIdx++
+	}
+
+	// Inter-transit ring plus random shortcuts.
+	for d := 0; d < p.TransitDomains; d++ {
+		next := (d + 1) % p.TransitDomains
+		if next == d {
+			break
+		}
+		a := transitRouters[d][rng.Intn(len(transitRouters[d]))]
+		b := transitRouters[next][rng.Intn(len(transitRouters[next]))]
+		if err := g.AddEdge(a, b, weight(p.TransitTransitWeight)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < p.ExtraTransitEdges && p.TransitDomains > 1; i++ {
+		d1 := rng.Intn(p.TransitDomains)
+		d2 := rng.Intn(p.TransitDomains)
+		if d1 == d2 {
+			continue
+		}
+		a := transitRouters[d1][rng.Intn(len(transitRouters[d1]))]
+		b := transitRouters[d2][rng.Intn(len(transitRouters[d2]))]
+		_ = g.AddEdge(a, b, weight(p.TransitTransitWeight)) // duplicate merge is fine
+	}
+
+	// Stub domains: each transit router sponsors StubsPerTransit of them.
+	for d := 0; d < p.TransitDomains; d++ {
+		for _, tr := range transitRouters[d] {
+			for s := 0; s < p.StubsPerTransit; s++ {
+				ids := make([]RouterID, p.StubPerDomain)
+				for i := range ids {
+					ids[i] = g.AddRouter(Stub, domainIdx)
+				}
+				connectDomain(g, ids, p.EdgeProb, func() float64 { return weight(p.IntraStubWeight) }, rng)
+				// Gateway link from a random stub router up to the sponsor.
+				gw := ids[rng.Intn(len(ids))]
+				if err := g.AddEdge(gw, tr, weight(p.StubTransitWeight)); err != nil {
+					return nil, err
+				}
+				domainIdx++
+			}
+		}
+	}
+
+	if !g.Connected() {
+		return nil, fmt.Errorf("topology: generated graph not connected (bug)")
+	}
+	return g, nil
+}
+
+// connectDomain wires ids into a connected random subgraph: a random
+// spanning chain first, then independent extra edges with probability prob.
+func connectDomain(g *Graph, ids []RouterID, prob float64, w func() float64, rng *rand.Rand) {
+	if len(ids) <= 1 {
+		return
+	}
+	perm := rng.Perm(len(ids))
+	for i := 1; i < len(perm); i++ {
+		// Attach each router to a random earlier one: random spanning tree.
+		j := perm[rng.Intn(i)]
+		_ = g.AddEdge(ids[perm[i]], ids[j], w())
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if rng.Float64() < prob {
+				_ = g.AddEdge(ids[i], ids[j], w())
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"bristle/internal/wire"
+)
+
+// exerciseTransport runs the shared contract tests against any Transport.
+func exerciseTransport(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serverErr error
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		defer conn.Close()
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return // client closed
+			}
+			m.Type = wire.TPong
+			if err := conn.Send(m); err != nil {
+				serverErr = err
+				return
+			}
+		}
+	}()
+
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Send(&wire.Message{Type: wire.TPing, Seq: uint32(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if m.Type != wire.TPong || m.Seq != uint32(i) {
+			t.Fatalf("echo %d mismatch: %+v", i, m)
+		}
+	}
+	c.Close()
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatalf("server: %v", serverErr)
+	}
+}
+
+func TestMemTransportContract(t *testing.T) {
+	exerciseTransport(t, NewMem(), "node-a")
+}
+
+func TestTCPTransportContract(t *testing.T) {
+	exerciseTransport(t, &TCP{}, "127.0.0.1:0")
+}
+
+func TestMemDialUnknownRefused(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+}
+
+func TestMemAddressReuseRejected(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("dup"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	l.Close()
+	// After close the address is free again.
+	if _, err := m.Listen("dup"); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+}
+
+func TestMemAutoAddressesUnique(t *testing.T) {
+	m := NewMem()
+	a, err := m.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr() == b.Addr() {
+		t.Fatalf("auto addresses collide: %s", a.Addr())
+	}
+}
+
+func TestMemListenerCloseUnblocksAccept(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("x")
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Accept after close: %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock on close")
+	}
+}
+
+func TestMemDialAfterListenerClose(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("gone")
+	l.Close()
+	if _, err := m.Dial("gone"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+}
+
+func TestMemConnCloseUnblocksPeerRecv(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("y")
+	go func() {
+		c, err := m.Dial("y")
+		if err != nil {
+			return
+		}
+		c.Close()
+	}()
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err != io.EOF {
+		t.Fatalf("Recv on peer-closed conn: %v, want EOF", err)
+	}
+}
+
+func TestMemPendingMessagesDrainBeforeEOF(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("z")
+	client, err := m.Dial("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(&wire.Message{Type: wire.TPing, Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatalf("queued message lost: %v", err)
+	}
+	if msg.Seq != 7 {
+		t.Fatalf("wrong message drained: %+v", msg)
+	}
+	if _, err := server.Recv(); err != io.EOF {
+		t.Fatalf("after drain: %v, want EOF", err)
+	}
+}
+
+func TestMemSendAfterCloseFails(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("w")
+	client, _ := m.Dial("w")
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if err := client.Send(&wire.Message{Type: wire.TPing}); err == nil {
+		t.Fatal("send on closed conn succeeded")
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	received := make(chan uint32, 100)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < 100; i++ {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			received <- m.Seq
+		}
+	}()
+
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := c.Send(&wire.Message{Type: wire.TPing, Seq: uint32(g*10 + i)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// All 100 frames must arrive intact (no interleaved corruption).
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		select {
+		case s := <-received:
+			if seen[s] {
+				t.Fatalf("duplicate frame %d", s)
+			}
+			seen[s] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/100 frames arrived", i)
+		}
+	}
+}
+
+func TestTCPDialRefused(t *testing.T) {
+	tr := &TCP{DialTimeout: 500 * time.Millisecond}
+	if _, err := tr.Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanicsOnMutatedFrames flips random bytes in valid frames
+// and asserts the decoder either rejects them or returns a structurally
+// valid message — never panics or over-allocates.
+func TestDecodeNeverPanicsOnMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := &Message{
+		Type: TUpdate,
+		Key:  12345,
+		Seq:  7,
+		Self: Entry{Key: 9, Addr: "10.0.0.1:1234", Capacity: 3, TTLMilli: 1000},
+		Entries: []Entry{
+			{Key: 1, Addr: "a:1", Capacity: 1},
+			{Key: 2, Addr: "b:2", Capacity: 2},
+		},
+	}
+	frame, err := Encode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		mut := append([]byte(nil), frame...)
+		flips := 1 + rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << uint(rng.Intn(8)))
+		}
+		msg, err := Decode(bytes.NewReader(mut))
+		if err != nil {
+			continue // rejected: fine
+		}
+		// Accepted: the message must be structurally sane.
+		if len(msg.Entries) > 1<<16 {
+			t.Fatalf("decoder accepted absurd entry count %d", len(msg.Entries))
+		}
+		for _, e := range msg.Entries {
+			if len(e.Addr) > 1<<16 {
+				t.Fatalf("decoder accepted absurd address length %d", len(e.Addr))
+			}
+		}
+	}
+}
+
+// TestDecodeNeverPanicsOnRandomBytes feeds pure noise.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		_, _ = Decode(bytes.NewReader(buf)) // must not panic
+	}
+}
+
+// TestDecodeTruncationsOfManyMessages exhaustively truncates frames of
+// varying shapes.
+func TestDecodeTruncationsOfManyMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		m := &Message{
+			Type: MsgType(1 + rng.Intn(12)),
+			Key:  12345,
+			Self: Entry{Addr: string(make([]byte, rng.Intn(50)))},
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			m.Entries = append(m.Entries, Entry{Key: 1, Addr: "x"})
+		}
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := Decode(bytes.NewReader(frame[:cut])); err == nil {
+				t.Fatalf("truncated frame (%d/%d) accepted", cut, len(frame))
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package wire defines the binary protocol a live Bristle node speaks:
+// length-prefixed, versioned frames carrying the location-management
+// operations of Section 2.3 (publish, discover, register, update) plus the
+// overlay maintenance traffic (join, leaf exchange, ping).
+//
+// Encoding is deliberately simple and explicit — fixed-width big-endian
+// integers and length-prefixed strings via encoding/binary — so any
+// implementation can interoperate without a schema compiler.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"bristle/internal/hashkey"
+)
+
+// Protocol constants.
+const (
+	// Magic marks every frame; receivers drop streams with wrong magic.
+	Magic uint16 = 0xB215
+	// Version is the protocol revision.
+	Version uint8 = 1
+	// MaxFrame bounds a frame's payload to keep malicious peers from
+	// forcing huge allocations.
+	MaxFrame = 1 << 20
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+const (
+	// TPing / TPong are liveness probes.
+	TPing MsgType = iota + 1
+	TPong
+	// TPublish stores a mobile node's state-pair at a stationary node.
+	TPublish
+	// TPublishAck confirms a publish.
+	TPublishAck
+	// TDiscover asks the stationary layer for a key's current address.
+	TDiscover
+	// TDiscoverResp answers a TDiscover.
+	TDiscoverResp
+	// TRegister records the sender's interest in a node's movement.
+	TRegister
+	// TRegisterAck confirms a registration.
+	TRegisterAck
+	// TUpdate carries a location update down an LDT, with the subtree the
+	// receiver must advertise to (Figure 4 delegation).
+	TUpdate
+	// TJoin asks a bootstrap node to admit the sender to the ring.
+	TJoin
+	// TJoinResp returns the admitted node's neighbors.
+	TJoinResp
+	// TLeafExchange shares leaf-set entries during stabilization.
+	TLeafExchange
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TPing:
+		return "ping"
+	case TPong:
+		return "pong"
+	case TPublish:
+		return "publish"
+	case TPublishAck:
+		return "publish-ack"
+	case TDiscover:
+		return "discover"
+	case TDiscoverResp:
+		return "discover-resp"
+	case TRegister:
+		return "register"
+	case TRegisterAck:
+		return "register-ack"
+	case TUpdate:
+		return "update"
+	case TJoin:
+		return "join"
+	case TJoinResp:
+		return "join-resp"
+	case TLeafExchange:
+		return "leaf-exchange"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Errors.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrTooLarge   = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated  = errors.New("wire: truncated payload")
+)
+
+// Entry is a serializable state-pair: a node's key, dialable address, and
+// capacity (capacities ride along so registries can schedule LDTs).
+type Entry struct {
+	Key      hashkey.Key
+	Addr     string
+	Capacity float64
+	TTLMilli uint32 // lease duration in milliseconds; 0 = no lease
+	Mobile   bool   // mobile-layer node: never a location-record owner
+}
+
+// Message is a decoded frame.
+type Message struct {
+	Type MsgType
+	// Key is the subject key (target of discover/publish/update/join).
+	Key hashkey.Key
+	// Self describes the sender where relevant (publish, register, join).
+	Self Entry
+	// Found reports success on response messages.
+	Found bool
+	// Entries carries neighbor lists (join-resp, leaf-exchange) or the
+	// delegated LDT subset (update).
+	Entries []Entry
+	// Seq correlates requests and responses on a shared connection.
+	Seq uint32
+}
+
+// Encode serializes the message as one frame.
+func Encode(m *Message) ([]byte, error) {
+	var body bytes.Buffer
+	w := func(v interface{}) {
+		_ = binary.Write(&body, binary.BigEndian, v)
+	}
+	w(uint64(m.Key))
+	w(m.Seq)
+	var flags uint8
+	if m.Found {
+		flags |= 1
+	}
+	w(flags)
+	if err := writeEntry(&body, m.Self); err != nil {
+		return nil, err
+	}
+	if len(m.Entries) > 65535 {
+		return nil, fmt.Errorf("wire: too many entries (%d)", len(m.Entries))
+	}
+	w(uint16(len(m.Entries)))
+	for _, e := range m.Entries {
+		if err := writeEntry(&body, e); err != nil {
+			return nil, err
+		}
+	}
+
+	payload := body.Bytes()
+	if len(payload) > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	var frame bytes.Buffer
+	_ = binary.Write(&frame, binary.BigEndian, Magic)
+	frame.WriteByte(Version)
+	frame.WriteByte(uint8(m.Type))
+	_ = binary.Write(&frame, binary.BigEndian, uint32(len(payload)))
+	frame.Write(payload)
+	return frame.Bytes(), nil
+}
+
+// Decode parses one frame from r (blocking until a full frame arrives).
+func Decode(r io.Reader) (*Message, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return nil, ErrBadVersion
+	}
+	mtype := MsgType(hdr[3])
+	size := binary.BigEndian.Uint32(hdr[4:8])
+	if size > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return decodeBody(mtype, payload)
+}
+
+func decodeBody(mtype MsgType, payload []byte) (*Message, error) {
+	buf := bytes.NewReader(payload)
+	m := &Message{Type: mtype}
+	var key uint64
+	if err := binary.Read(buf, binary.BigEndian, &key); err != nil {
+		return nil, ErrTruncated
+	}
+	m.Key = hashkey.Key(key)
+	if err := binary.Read(buf, binary.BigEndian, &m.Seq); err != nil {
+		return nil, ErrTruncated
+	}
+	var flags uint8
+	if err := binary.Read(buf, binary.BigEndian, &flags); err != nil {
+		return nil, ErrTruncated
+	}
+	m.Found = flags&1 != 0
+	self, err := readEntry(buf)
+	if err != nil {
+		return nil, err
+	}
+	m.Self = self
+	var count uint16
+	if err := binary.Read(buf, binary.BigEndian, &count); err != nil {
+		return nil, ErrTruncated
+	}
+	if int(count) > buf.Len() { // each entry is ≥1 byte; cheap sanity bound
+		return nil, ErrTruncated
+	}
+	if count > 0 {
+		m.Entries = make([]Entry, 0, count)
+	}
+	for i := 0; i < int(count); i++ {
+		e, err := readEntry(buf)
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m, nil
+}
+
+func writeEntry(w *bytes.Buffer, e Entry) error {
+	if len(e.Addr) > 65535 {
+		return fmt.Errorf("wire: address too long (%d bytes)", len(e.Addr))
+	}
+	_ = binary.Write(w, binary.BigEndian, uint64(e.Key))
+	_ = binary.Write(w, binary.BigEndian, uint16(len(e.Addr)))
+	w.WriteString(e.Addr)
+	_ = binary.Write(w, binary.BigEndian, e.Capacity)
+	_ = binary.Write(w, binary.BigEndian, e.TTLMilli)
+	var flags uint8
+	if e.Mobile {
+		flags |= 1
+	}
+	w.WriteByte(flags)
+	return nil
+}
+
+func readEntry(r *bytes.Reader) (Entry, error) {
+	var e Entry
+	var key uint64
+	if err := binary.Read(r, binary.BigEndian, &key); err != nil {
+		return e, ErrTruncated
+	}
+	e.Key = hashkey.Key(key)
+	var alen uint16
+	if err := binary.Read(r, binary.BigEndian, &alen); err != nil {
+		return e, ErrTruncated
+	}
+	addr := make([]byte, alen)
+	if _, err := io.ReadFull(r, addr); err != nil {
+		return e, ErrTruncated
+	}
+	e.Addr = string(addr)
+	if err := binary.Read(r, binary.BigEndian, &e.Capacity); err != nil {
+		return e, ErrTruncated
+	}
+	if err := binary.Read(r, binary.BigEndian, &e.TTLMilli); err != nil {
+		return e, ErrTruncated
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return e, ErrTruncated
+	}
+	e.Mobile = flags&1 != 0
+	return e, nil
+}

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bristle/internal/hashkey"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	types := []MsgType{TPing, TPong, TPublish, TPublishAck, TDiscover,
+		TDiscoverResp, TRegister, TRegisterAck, TUpdate, TJoin, TJoinResp, TLeafExchange}
+	for _, typ := range types {
+		m := &Message{
+			Type:  typ,
+			Key:   hashkey.FromName("subject"),
+			Seq:   42,
+			Found: typ == TDiscoverResp,
+			Self:  Entry{Key: 7, Addr: "127.0.0.1:9000", Capacity: 3.5, TTLMilli: 1500},
+			Entries: []Entry{
+				{Key: 1, Addr: "10.0.0.1:1", Capacity: 1},
+				{Key: 2, Addr: "10.0.0.2:2", Capacity: 2, TTLMilli: 10},
+			},
+		}
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("type %v: round trip mismatch:\n got %+v\nwant %+v", typ, got, m)
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	m := &Message{Type: TPing}
+	got := roundTrip(t, m)
+	if got.Type != TPing || got.Key != 0 || len(got.Entries) != 0 {
+		t.Fatalf("empty message mismatch: %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(key uint64, seq uint32, found bool, addr string, cap float64, n uint8) bool {
+		if len(addr) > 1000 {
+			addr = addr[:1000]
+		}
+		m := &Message{
+			Type:  TUpdate,
+			Key:   hashkey.Key(key),
+			Seq:   seq,
+			Found: found,
+			Self:  Entry{Key: hashkey.Key(key ^ 0xff), Addr: addr, Capacity: cap},
+		}
+		for i := 0; i < int(n%20); i++ {
+			m.Entries = append(m.Entries, Entry{Key: hashkey.Key(i), Addr: addr, Capacity: float64(i)})
+		}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(bytes.NewReader(frame))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	frame, _ := Encode(&Message{Type: TPing})
+	frame[0] ^= 0xff
+	if _, err := Decode(bytes.NewReader(frame)); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	frame, _ := Encode(&Message{Type: TPing})
+	frame[2] = 99
+	if _, err := Decode(bytes.NewReader(frame)); err != ErrBadVersion {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeOversizedRejected(t *testing.T) {
+	frame, _ := Encode(&Message{Type: TPing})
+	// Forge a huge length.
+	frame[4], frame[5], frame[6], frame[7] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Decode(bytes.NewReader(frame)); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeTruncatedFrame(t *testing.T) {
+	frame, _ := Encode(&Message{Type: TPublish, Self: Entry{Addr: "x:1"}})
+	for cut := 1; cut < len(frame); cut += 3 {
+		if _, err := Decode(bytes.NewReader(frame[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeCorruptEntryCount(t *testing.T) {
+	frame, _ := Encode(&Message{Type: TJoinResp})
+	// The entry count is the last 2 payload bytes; forge a huge count.
+	frame[len(frame)-2], frame[len(frame)-1] = 0xff, 0xff
+	if _, err := Decode(bytes.NewReader(frame)); err == nil {
+		t.Fatal("forged entry count accepted")
+	}
+}
+
+func TestEncodeAddressTooLong(t *testing.T) {
+	m := &Message{Type: TPublish, Self: Entry{Addr: strings.Repeat("a", 70000)}}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("oversized address accepted")
+	}
+}
+
+func TestDecodeMultipleFramesFromStream(t *testing.T) {
+	var stream bytes.Buffer
+	for i := 0; i < 5; i++ {
+		frame, _ := Encode(&Message{Type: TPing, Seq: uint32(i)})
+		stream.Write(frame)
+	}
+	r := bytes.NewReader(stream.Bytes())
+	for i := 0; i < 5; i++ {
+		m, err := Decode(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.Seq != uint32(i) {
+			t.Fatalf("frame %d out of order: seq %d", i, m.Seq)
+		}
+	}
+	if _, err := Decode(r); err != io.EOF {
+		t.Fatalf("stream end: %v, want EOF", err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if TPing.String() != "ping" || TDiscoverResp.String() != "discover-resp" {
+		t.Error("MsgType.String mismatch")
+	}
+	if !strings.Contains(MsgType(200).String(), "200") {
+		t.Error("unknown MsgType should include numeric value")
+	}
+}
