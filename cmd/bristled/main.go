@@ -32,6 +32,7 @@ import (
 
 	"bristle/internal/hashkey"
 	"bristle/internal/live"
+	"bristle/internal/metrics"
 	"bristle/internal/transport"
 )
 
@@ -45,6 +46,7 @@ func main() {
 	rebind := flag.Duration("rebind", 0, "mobile: re-bind to a new port at this interval")
 	watch := flag.String("watch", "", "register interest in this node name and print its updates")
 	gossip := flag.Duration("gossip", 2*time.Second, "anti-entropy gossip interval")
+	stats := flag.Duration("stats", 30*time.Second, "resilience counter log interval (0 = only at exit)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
@@ -53,11 +55,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	counters := metrics.NewCounters()
 	cfg := live.Config{
 		Name:     *name,
 		Capacity: *capacity,
 		Mobile:   *mobile,
 		LeaseTTL: *lease,
+		Counters: counters,
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
@@ -82,12 +86,21 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
-	// Gossip and lease renewal run as library maintenance loops.
+	// Gossip, lease renewal, and suspect probing run as library
+	// maintenance loops.
 	stopMaint := node.StartMaintenance(live.MaintainConfig{
 		GossipInterval: *gossip,
+		ProbeInterval:  *gossip * 2,
 		Rand:           rand.New(rand.NewSource(time.Now().UnixNano())),
 	})
 	defer stopMaint()
+
+	var statsTick <-chan time.Time
+	if *stats > 0 {
+		t := time.NewTicker(*stats)
+		defer t.Stop()
+		statsTick = t.C
+	}
 
 	var rebindTick <-chan time.Time
 	if *mobile && *rebind > 0 {
@@ -103,8 +116,14 @@ func main() {
 	for {
 		select {
 		case <-stop:
-			fmt.Println("\nshutting down")
+			fmt.Printf("\nshutting down; counters: %s\n", counters)
 			return
+		case <-statsTick:
+			if suspects := node.Suspects(); len(suspects) > 0 {
+				fmt.Printf("stats: %s suspects=%v\n", counters, suspects)
+			} else {
+				fmt.Printf("stats: %s\n", counters)
+			}
 		case <-rebindTick:
 			if err := node.Rebind("127.0.0.1:0"); err != nil {
 				fmt.Fprintf(os.Stderr, "rebind: %v\n", err)

@@ -1,0 +1,164 @@
+package integration
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bristle/internal/live"
+	"bristle/internal/metrics"
+	"bristle/internal/transport"
+)
+
+// TestLiveRingLeasesRefreshUnderChaos runs the real live stack — socket
+// protocol, leases, background maintenance (gossip, lease renewal,
+// suspect probing) — behind a Faulty transport: 20% frame loss and
+// injected delay throughout, plus a two-node partition that heals
+// mid-run. Leases must keep refreshing through the loss so every mobile
+// stays discoverable, and the counters must show the resilience machinery
+// actually firing.
+func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
+	const seed = 1234
+	counters := metrics.NewCounters()
+	faulty := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{Seed: seed})
+
+	stationary := []string{"t1", "t2", "t3", "t4", "t5", "t6"}
+	mobiles := []string{"u1", "u2"}
+	names := append(append([]string{}, stationary...), mobiles...)
+
+	const leaseTTL = time.Second
+	nodes := make(map[string]*live.Node, len(names))
+	var all []*live.Node
+	for _, name := range names {
+		nd := live.NewNode(live.Config{
+			Name:               name,
+			Capacity:           4,
+			Mobile:             name[0] == 'u',
+			Replication:        3,
+			LeaseTTL:           leaseTTL,
+			RequestTimeout:     250 * time.Millisecond,
+			RetryAttempts:      5,
+			RetryBase:          5 * time.Millisecond,
+			RetryMax:           40 * time.Millisecond,
+			SuspicionThreshold: 3,
+			SuspicionCooldown:  200 * time.Millisecond,
+			Counters:           counters,
+		}, faulty.Endpoint(name))
+		if err := nd.Start(""); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		nodes[name] = nd
+		all = append(all, nd)
+	}
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+
+	boot := all[0]
+	for _, nd := range all[1:] {
+		if err := nd.JoinVia(boot.Addr()); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < 4; round++ {
+		for _, nd := range all {
+			if _, err := nd.GossipOnce(rng); err != nil {
+				t.Fatalf("gossip: %v", err)
+			}
+		}
+	}
+	for _, name := range mobiles {
+		if err := nodes[name].Publish(); err != nil {
+			t.Fatalf("publish %s: %v", name, err)
+		}
+	}
+
+	// Background maintenance on every node: renewal faster than the lease
+	// TTL (records expire without it), plus gossip and suspect probing.
+	var stops []func()
+	for i, nd := range all {
+		stops = append(stops, nd.StartMaintenance(live.MaintainConfig{
+			GossipInterval: 300 * time.Millisecond,
+			RenewInterval:  300 * time.Millisecond,
+			ProbeInterval:  250 * time.Millisecond,
+			Rand:           rand.New(rand.NewSource(seed + int64(i))),
+		}))
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	// Chaos on, and two nodes cut away from the rest in both directions.
+	island := []string{"t6", "u2"}
+	mainland := []string{"t1", "t2", "t3", "t4", "t5", "u1"}
+	faulty.PartitionBoth("island", island, mainland)
+	faulty.SetConfig(transport.FaultConfig{
+		Seed:     seed,
+		Drop:     0.20,
+		DelayMax: 30 * time.Millisecond,
+		Counters: counters,
+	})
+
+	// Hold the partition well past the lease TTL: mainland renewals must
+	// keep u1 alive in the repository even while 20% of frames vanish.
+	time.Sleep(3 * leaseTTL / 2)
+	if err := nodes["u1"].Rebind(""); err != nil {
+		t.Fatalf("rebind under chaos: %v", err)
+	}
+	faulty.Heal("island")
+	time.Sleep(leaseTTL)
+
+	// Every mobile stays discoverable — including the healed u2, whose
+	// lease may have lapsed during isolation until its renewal loop
+	// republished it. Still under 20% loss; retries absorb the noise.
+	resolve := func(from *live.Node, target *live.Node) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			addr, err := from.Discover(target.Key())
+			if err == nil && addr == target.Addr() {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("discover %v from %v: addr=%q err=%v", target.Key(), from.Key(), addr, err)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	for _, probe := range []string{"t1", "t6"} {
+		for _, m := range mobiles {
+			resolve(nodes[probe], nodes[m])
+		}
+	}
+
+	// A record that stops being renewed must still expire: the lease
+	// mechanism is alive, not just never-expiring storage.
+	u1 := nodes["u1"]
+	stops[6]() // u1's maintenance (index 6 in all = first mobile)
+	stops[6] = func() {}
+	u1key := u1.Key()
+	expired := func() bool {
+		_, err := nodes["t2"].Discover(u1key)
+		return errors.Is(err, live.ErrNotFound)
+	}
+	expiry := time.Now().Add(15 * time.Second)
+	for !expired() {
+		if time.Now().After(expiry) {
+			t.Fatal("lease never expired after renewal stopped")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	if counters.Get("fault.drop") == 0 {
+		t.Error("chaos vacuous: no frames dropped")
+	}
+	if counters.Get("rpc.retries") == 0 {
+		t.Error("no retries recorded under 20% loss")
+	}
+}

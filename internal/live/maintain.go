@@ -15,6 +15,10 @@ type MaintainConfig struct {
 	// renewal, §2.3.2). Zero derives LeaseTTL/2 when a lease is set, else
 	// disables renewal.
 	RenewInterval time.Duration
+	// ProbeInterval is how often suspect peers (open circuit breakers) are
+	// probed so they can be readmitted without waiting for live traffic to
+	// half-open them. Zero disables background probing.
+	ProbeInterval time.Duration
 	// Rand seeds gossip partner selection; nil uses a time-seeded source.
 	Rand *rand.Rand
 }
@@ -68,6 +72,22 @@ func (n *Node) StartMaintenance(cfg MaintainConfig) (stop func()) {
 					if err := n.Publish(); err != nil {
 						n.logf("maintenance renew: %v", err)
 					}
+				}
+			}
+		}()
+	}
+	if cfg.ProbeInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.ProbeInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					n.ProbeSuspects()
 				}
 			}
 		}()

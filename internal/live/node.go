@@ -23,6 +23,7 @@ import (
 
 	"bristle/internal/hashkey"
 	"bristle/internal/ldt"
+	"bristle/internal/metrics"
 	"bristle/internal/transport"
 	"bristle/internal/wire"
 )
@@ -55,9 +56,32 @@ type Config struct {
 	// record (§2.3.2 availability; discovery falls over across them).
 	// Minimum effective value 1; default 2.
 	Replication int
-	// RequestTimeout bounds every request/response exchange; a peer that
-	// accepts but never answers costs at most this long. Default 10s.
+	// RequestTimeout bounds one attempt of a request/response exchange,
+	// enforced at the socket level (Conn.SetDeadline): a peer that accepts
+	// but never answers costs at most this long per attempt. Default 10s.
 	RequestTimeout time.Duration
+	// RetryAttempts caps how many times one exchange is attempted before
+	// giving up (default 4; 1 restores single-shot semantics).
+	RetryAttempts int
+	// RetryBase is the cap of the first backoff pause; it doubles per
+	// retry (full jitter: the pause is uniform in [0, cap]). Default 25ms.
+	RetryBase time.Duration
+	// RetryMax caps a single backoff pause. Default 1s.
+	RetryMax time.Duration
+	// RetryBudget bounds the total wall time of one exchange across all
+	// attempts and pauses. Default RetryAttempts × RequestTimeout.
+	RetryBudget time.Duration
+	// SuspicionThreshold is how many consecutive failed exchanges trip a
+	// peer's circuit breaker; tripped peers fail fast and are deprioritized
+	// as replicas until a probe succeeds. Default 3; negative disables
+	// suspicion entirely.
+	SuspicionThreshold int
+	// SuspicionCooldown is how long a tripped breaker fails fast before it
+	// lets one probe through (half-open). Default 2s.
+	SuspicionCooldown time.Duration
+	// Counters optionally records resilience events (rpc.retries,
+	// rpc.timeouts, breaker.trips, ...); nil disables recording.
+	Counters *metrics.Counters
 	// Logger receives protocol diagnostics; nil silences them.
 	Logger *log.Logger
 }
@@ -88,6 +112,12 @@ type Node struct {
 	seq      uint32
 	stopped  bool
 
+	bmu      sync.Mutex          // guards breakers, independent of mu
+	breakers map[string]*breaker // per-peer suspicion circuit breakers
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // seeds retry jitter; per-node deterministic
+
 	wg      sync.WaitGroup
 	updates chan Update
 }
@@ -103,14 +133,35 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 25 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = time.Second
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = time.Duration(cfg.RetryAttempts) * cfg.RequestTimeout
+	}
+	if cfg.SuspicionThreshold == 0 {
+		cfg.SuspicionThreshold = 3
+	}
+	if cfg.SuspicionCooldown <= 0 {
+		cfg.SuspicionCooldown = 2 * time.Second
+	}
+	key := hashkey.FromName(cfg.Name)
 	return &Node{
 		cfg:      cfg,
-		key:      hashkey.FromName(cfg.Name),
+		key:      key,
 		tr:       tr,
 		peers:    make(map[hashkey.Key]wire.Entry),
 		store:    make(map[hashkey.Key]storedLoc),
 		registry: make(map[hashkey.Key]wire.Entry),
 		cache:    make(map[hashkey.Key]storedLoc),
+		breakers: make(map[string]*breaker),
+		rng:      rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
 		updates:  make(chan Update, 64),
 	}
 }
@@ -367,40 +418,7 @@ func (n *Node) Registry() []wire.Entry {
 }
 
 // --- client-side operations ---
-
-// request dials addr, sends m, and waits for one response, bounded by
-// RequestTimeout (the connection is torn down on expiry, unblocking Recv).
-func (n *Node) request(addr string, m *wire.Message) (*wire.Message, error) {
-	conn, err := n.tr.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	timer := time.AfterFunc(n.cfg.RequestTimeout, func() { conn.Close() })
-	defer timer.Stop()
-	n.mu.Lock()
-	n.seq++
-	m.Seq = n.seq
-	n.mu.Unlock()
-	if err := conn.Send(m); err != nil {
-		return nil, err
-	}
-	resp, err := conn.Recv()
-	if err != nil {
-		return nil, err
-	}
-	return resp, nil
-}
-
-// oneWay dials addr and sends m without waiting for a response.
-func (n *Node) oneWay(addr string, m *wire.Message) error {
-	conn, err := n.tr.Dial(addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	return conn.Send(m)
-}
+// (request and oneWay live in rpc.go: retry/backoff + circuit breakers.)
 
 // JoinVia contacts a bootstrap node, announces this node, and adopts the
 // returned membership.
@@ -437,6 +455,17 @@ func (n *Node) GossipOnce(rng *rand.Rand) (int, error) {
 		return 0, nil
 	}
 	sort.Slice(others, func(i, j int) bool { return others[i].Key < others[j].Key })
+	// Prefer partners that are not currently suspect; fall back to the
+	// full set so an all-suspect view still gossips (and probes).
+	healthy := others[:0:0]
+	for _, e := range others {
+		if !n.suspect(e.Addr) {
+			healthy = append(healthy, e)
+		}
+	}
+	if len(healthy) > 0 {
+		others = healthy
+	}
 	target := others[rng.Intn(len(others))]
 	resp, err := n.request(target.Addr, &wire.Message{Type: wire.TLeafExchange, Entries: mine})
 	if err != nil {
@@ -451,10 +480,13 @@ func (n *Node) GossipOnce(rng *rand.Rand) (int, error) {
 	return after - before, nil
 }
 
-// ownersOf returns the k known *stationary* peers closest to key, nearest
-// first — location records live in the stationary layer only
-// (Section 2.1), replicated for §2.3.2 availability; mobile peers are
-// never owners (their addresses are exactly what's being resolved).
+// ownersOf returns the k known *stationary* peers closest to key —
+// location records live in the stationary layer only (Section 2.1),
+// replicated for §2.3.2 availability; mobile peers are never owners
+// (their addresses are exactly what's being resolved). Within the replica
+// set, peers whose circuit breaker is open sort last, so publish and
+// discovery fall over across replicas in suspicion-aware order and pay
+// the suspect peers' timeouts only when every healthy replica failed.
 func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
 	n.mu.Lock()
 	var cands []wire.Entry
@@ -473,7 +505,11 @@ func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
 	if k > len(cands) {
 		k = len(cands)
 	}
-	return cands[:k], nil
+	owners := cands[:k]
+	sort.SliceStable(owners, func(i, j int) bool {
+		return !n.suspect(owners[i].Addr) && n.suspect(owners[j].Addr)
+	})
+	return owners, nil
 }
 
 // Publish pushes this node's current address to the owners of its key

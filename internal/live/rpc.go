@@ -1,0 +1,245 @@
+package live
+
+// This file is the resilient RPC layer: every request/response exchange
+// a live node makes gets capped exponential backoff with full jitter
+// under an overall deadline, and every peer gets a suspicion circuit
+// breaker — repeated failures mark it suspect so later operations fail
+// fast instead of burning a timeout, until a probe succeeds (§2.3.2's
+// graceful degradation, applied to the transport itself).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bristle/internal/transport"
+	"bristle/internal/wire"
+)
+
+// ErrPeerSuspect is returned without any network I/O when the target
+// peer's circuit breaker is open: recent exchanges failed repeatedly, and
+// the cooldown before the next probe has not elapsed.
+var ErrPeerSuspect = errors.New("live: peer suspect (circuit open)")
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	bkClosed   breakerState = iota // healthy: all traffic flows
+	bkOpen                         // suspect: fail fast until probeAt
+	bkHalfOpen                     // one probe in flight; others fail fast
+)
+
+type breaker struct {
+	state   breakerState
+	fails   int       // consecutive failed exchanges
+	probeAt time.Time // when open: earliest next probe
+}
+
+// count bumps a named counter on the node's registry (nil-safe).
+func (n *Node) count(name string) { n.cfg.Counters.Inc(name) }
+
+// breakerAllow consults addr's breaker before any network I/O. A closed
+// breaker admits the call; an open one past its cooldown moves to
+// half-open and admits this single call as the probe; anything else fails
+// fast with ErrPeerSuspect.
+func (n *Node) breakerAllow(addr string) error {
+	if n.cfg.SuspicionThreshold < 0 {
+		return nil
+	}
+	n.bmu.Lock()
+	defer n.bmu.Unlock()
+	b := n.breakers[addr]
+	if b == nil || b.state == bkClosed {
+		return nil
+	}
+	if b.state == bkOpen && !time.Now().Before(b.probeAt) {
+		b.state = bkHalfOpen
+		n.count("breaker.probes")
+		return nil
+	}
+	n.count("breaker.fastfail")
+	return fmt.Errorf("%w: %s", ErrPeerSuspect, addr)
+}
+
+// breakerResult records the outcome of an exchange with addr. Success
+// closes (and forgets) the breaker; failures accumulate and trip it at
+// SuspicionThreshold, or re-open it immediately from half-open.
+func (n *Node) breakerResult(addr string, err error) {
+	if n.cfg.SuspicionThreshold < 0 {
+		return
+	}
+	n.bmu.Lock()
+	defer n.bmu.Unlock()
+	b := n.breakers[addr]
+	if err == nil {
+		if b != nil {
+			if b.state != bkClosed {
+				n.count("breaker.closes")
+				n.logf("peer %s healthy again; breaker closed", addr)
+			}
+			delete(n.breakers, addr)
+		}
+		return
+	}
+	if errors.Is(err, ErrPeerSuspect) {
+		return // a fast-fail is not fresh evidence
+	}
+	if b == nil {
+		b = &breaker{}
+		n.breakers[addr] = b
+	}
+	b.fails++
+	if b.state == bkHalfOpen || b.fails >= n.cfg.SuspicionThreshold {
+		if b.state != bkOpen {
+			n.count("breaker.trips")
+			n.logf("peer %s suspect after %d consecutive failures", addr, b.fails)
+		}
+		b.state = bkOpen
+		b.probeAt = time.Now().Add(n.cfg.SuspicionCooldown)
+	}
+}
+
+// suspect reports whether addr's breaker is currently non-closed.
+func (n *Node) suspect(addr string) bool {
+	n.bmu.Lock()
+	defer n.bmu.Unlock()
+	b := n.breakers[addr]
+	return b != nil && b.state != bkClosed
+}
+
+// Suspects returns the addresses whose circuit breakers are open or
+// half-open, sorted — the peers this node currently routes around.
+func (n *Node) Suspects() []string {
+	n.bmu.Lock()
+	defer n.bmu.Unlock()
+	var out []string
+	for addr, b := range n.breakers {
+		if b.state != bkClosed {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProbeSuspects pings every suspect peer whose cooldown allows a probe;
+// a successful probe closes the breaker. Failures only refresh the
+// breaker's own state, so this is safe to call from a maintenance loop.
+func (n *Node) ProbeSuspects() {
+	for _, addr := range n.Suspects() {
+		if err := n.Ping(addr); err == nil {
+			n.logf("probe of suspect %s succeeded", addr)
+		}
+	}
+}
+
+// request performs one request/response exchange with addr under the full
+// resilience policy: breaker fail-fast, then up to RetryAttempts attempts
+// with capped exponential backoff and full jitter, each attempt bounded
+// at the socket by RequestTimeout, all attempts bounded by RetryBudget.
+func (n *Node) request(addr string, m *wire.Message) (*wire.Message, error) {
+	if err := n.breakerAllow(addr); err != nil {
+		return nil, err
+	}
+	resp, err := n.requestRetry(addr, m)
+	n.breakerResult(addr, err)
+	return resp, err
+}
+
+func (n *Node) requestRetry(addr string, m *wire.Message) (*wire.Message, error) {
+	deadline := time.Now().Add(n.cfg.RetryBudget)
+	var lastErr error
+	for attempt := 0; attempt < n.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			pause := n.backoff(attempt)
+			if time.Now().Add(pause).After(deadline) {
+				break // budget exhausted: report the last real error
+			}
+			time.Sleep(pause)
+			n.count("rpc.retries")
+		}
+		n.count("rpc.attempts")
+		resp, err := n.attempt(addr, m)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if transport.IsTimeout(err) {
+			n.count("rpc.timeouts")
+		}
+		if !wire.Retryable(err) {
+			n.count("rpc.fatal")
+			return nil, err
+		}
+	}
+	n.count("rpc.failures")
+	return nil, lastErr
+}
+
+// attempt runs a single dial-send-recv exchange, bounded at the socket
+// level by RequestTimeout so a hung peer cannot block Recv forever.
+func (n *Node) attempt(addr string, m *wire.Message) (*wire.Message, error) {
+	conn, err := n.tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.cfg.RequestTimeout))
+	n.mu.Lock()
+	n.seq++
+	m.Seq = n.seq
+	seq := m.Seq
+	n.mu.Unlock()
+	if err := conn.Send(m); err != nil {
+		return nil, err
+	}
+	for {
+		resp, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		// A duplicated request frame makes the server answer twice; skip
+		// anything that does not correlate with this exchange.
+		if resp.Seq == seq {
+			return resp, nil
+		}
+	}
+}
+
+// backoff returns the pause before the attempt-th retry: full jitter over
+// an exponentially growing cap — uniform in [0, min(RetryMax,
+// RetryBase·2^(attempt-1))] — which decorrelates the retry storms of
+// nodes that failed together.
+func (n *Node) backoff(attempt int) time.Duration {
+	cap := n.cfg.RetryBase << uint(attempt-1)
+	if cap > n.cfg.RetryMax || cap <= 0 {
+		cap = n.cfg.RetryMax
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(cap) + 1))
+}
+
+// oneWay dials addr and sends m without waiting for a response. It still
+// consults the breaker (a suspect peer fails fast; late binding covers
+// the missed push) and feeds the outcome back into it.
+func (n *Node) oneWay(addr string, m *wire.Message) error {
+	if err := n.breakerAllow(addr); err != nil {
+		return err
+	}
+	err := n.oneWaySend(addr, m)
+	n.breakerResult(addr, err)
+	return err
+}
+
+func (n *Node) oneWaySend(addr string, m *wire.Message) error {
+	conn, err := n.tr.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.cfg.RequestTimeout))
+	return conn.Send(m)
+}

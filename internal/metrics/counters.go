@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a concurrency-safe registry of named monotonic event
+// counters, used by the live stack and the fault-injection transport to
+// make resilience behaviour observable: retries, timeouts, breaker trips,
+// injected faults. A nil *Counters is a valid no-op sink, so
+// instrumentation sites never need to guard against an absent registry.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]uint64)}
+}
+
+// Inc adds 1 to the named counter.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add adds n to the named counter. No-op on a nil registry.
+func (c *Counters) Add(name string, n uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] += n
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value (0 when absent or nil registry).
+func (c *Counters) Get(name string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot copies every counter, for iteration without holding the lock.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	if c == nil {
+		return out
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the registered counter names in sorted order.
+func (c *Counters) Names() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the counters as "name=value" pairs in sorted order —
+// compact enough for a periodic log line.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	if len(snap) == 0 {
+		return "(no events)"
+	}
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}

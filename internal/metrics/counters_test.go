@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("absent counter = %d, want 0", got)
+	}
+	c.Inc("a")
+	c.Add("a", 2)
+	c.Inc("b")
+	if got := c.Get("a"); got != 3 {
+		t.Fatalf("a = %d, want 3", got)
+	}
+	snap := c.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if got := c.String(); got != "a=3 b=1" {
+		t.Fatalf("String() = %q", got)
+	}
+	if names := c.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestCountersNilIsNoOpSink(t *testing.T) {
+	var c *Counters
+	c.Inc("x") // must not panic
+	c.Add("x", 5)
+	if got := c.Get("x"); got != 0 {
+		t.Fatalf("nil Get = %d", got)
+	}
+	if snap := c.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil Snapshot = %v", snap)
+	}
+	if !strings.Contains(c.String(), "no events") {
+		t.Fatalf("nil String = %q", c.String())
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
+	}
+}

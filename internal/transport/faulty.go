@@ -1,0 +1,338 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bristle/internal/metrics"
+	"bristle/internal/wire"
+)
+
+// poisonType is a reserved frame type the Faulty transport uses to model
+// in-flight corruption: a receiving Faulty endpoint translates it into a
+// wire.ErrBadMagic decode failure, exactly what a corrupted stream would
+// produce on TCP. An unwrapped receiver simply drops the unknown type.
+const poisonType = wire.MsgType(0xFF)
+
+// FaultConfig parameterizes the Faulty wrapper. All rates are independent
+// probabilities in [0, 1], drawn from a per-directed-link PRNG derived
+// from Seed — so two runs with the same seed and the same per-link frame
+// order inject the same faults.
+type FaultConfig struct {
+	// Seed roots every per-link fault stream. Same seed → same faults.
+	Seed int64
+	// Drop is P(an outbound frame vanishes silently).
+	Drop float64
+	// Duplicate is P(an outbound frame is delivered twice).
+	Duplicate float64
+	// Corrupt is P(an outbound frame is corrupted in flight: the
+	// receiver's Recv fails with wire.ErrBadMagic).
+	Corrupt float64
+	// RefuseDial is P(a Dial fails immediately with ErrRefused).
+	RefuseDial float64
+	// DelayMin/DelayMax bound a uniform per-frame injected latency,
+	// applied synchronously on the send path (a slow link stalls its
+	// sender). DelayMax 0 disables delay.
+	DelayMin, DelayMax time.Duration
+	// Counters optionally records every injected fault (fault.drop,
+	// fault.delay, fault.duplicate, fault.corrupt, fault.refuse,
+	// fault.partition_drop, fault.partition_refuse).
+	Counters *metrics.Counters
+}
+
+// Faulty wraps any Transport and injects seeded, per-link faults: frame
+// drop, delay, duplication, corruption, refused dials, and named
+// asymmetric partitions that can be installed and healed at runtime. It
+// turns the clean Mem (or TCP) transport into a deterministic chaos
+// harness for the live protocol stack.
+//
+// Fault decisions are made per directed link (dialing endpoint →
+// listening endpoint), so every node under test must go through its own
+// named view from Endpoint. Partitions match endpoint names; unnamed
+// peers are identified by their listener address.
+type Faulty struct {
+	inner Transport
+
+	mu         sync.Mutex
+	cfg        FaultConfig
+	owners     map[string]string // listener addr → endpoint name
+	links      map[linkKey]*linkState
+	partitions map[string][]partitionRule
+}
+
+type linkKey struct{ from, to string }
+
+type partitionRule struct{ from, to map[string]bool }
+
+// linkState carries the seeded PRNG of one directed link.
+type linkState struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (ls *linkState) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.rng.Float64() < p
+}
+
+func (ls *linkState) delay(min, max time.Duration) time.Duration {
+	if max <= 0 || max < min {
+		return 0
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return min + time.Duration(ls.rng.Int63n(int64(max-min)+1))
+}
+
+// NewFaulty wraps inner with the given fault profile.
+func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
+	return &Faulty{
+		inner:      inner,
+		cfg:        cfg,
+		owners:     make(map[string]string),
+		links:      make(map[linkKey]*linkState),
+		partitions: make(map[string][]partitionRule),
+	}
+}
+
+// SetConfig swaps the fault profile at runtime (e.g. to start chaos after
+// a clean bootstrap). Per-link PRNG states persist across the change.
+func (f *Faulty) SetConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// Config returns the current fault profile.
+func (f *Faulty) Config() FaultConfig {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg
+}
+
+// Endpoint returns a Transport view bound to a named endpoint. Per-link
+// fault streams and partitions are keyed by these names.
+func (f *Faulty) Endpoint(name string) Transport {
+	return &faultyEndpoint{f: f, name: name}
+}
+
+// Listen and Dial let a Faulty be used directly as an anonymous endpoint
+// (partition rules can still match its peers by listener address).
+func (f *Faulty) Listen(addr string) (Listener, error) { return f.Endpoint("").Listen(addr) }
+
+// Dial implements Transport for the anonymous endpoint.
+func (f *Faulty) Dial(addr string) (Conn, error) { return f.Endpoint("").Dial(addr) }
+
+// Partition installs (or extends) a named one-way partition: dials and
+// frames from any endpoint in from to any endpoint in to fail until
+// Heal(name). Entries match endpoint names, or listener addresses for
+// unnamed endpoints. Install both directions — or use PartitionBoth —
+// for a full split.
+func (f *Faulty) Partition(name string, from, to []string) {
+	rule := partitionRule{from: toSet(from), to: toSet(to)}
+	f.mu.Lock()
+	f.partitions[name] = append(f.partitions[name], rule)
+	f.mu.Unlock()
+}
+
+// PartitionBoth installs a bidirectional partition between the two groups
+// under one name, healed by a single Heal call.
+func (f *Faulty) PartitionBoth(name string, a, b []string) {
+	f.Partition(name, a, b)
+	f.Partition(name, b, a)
+}
+
+// Heal removes the named partition; traffic between the groups resumes.
+func (f *Faulty) Heal(name string) {
+	f.mu.Lock()
+	delete(f.partitions, name)
+	f.mu.Unlock()
+}
+
+func toSet(names []string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+func (f *Faulty) partitioned(from, to string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rules := range f.partitions {
+		for _, r := range rules {
+			if r.from[from] && r.to[to] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// linkFor returns the (lazily created) seeded PRNG of one directed link.
+func (f *Faulty) linkFor(from, to string) *linkState {
+	key := linkKey{from, to}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ls, ok := f.links[key]
+	if !ok {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%s|%s", f.cfg.Seed, from, to)
+		ls = &linkState{rng: rand.New(rand.NewSource(int64(h.Sum64())))}
+		f.links[key] = ls
+	}
+	return ls
+}
+
+// ownerOf maps a dial address to its endpoint name; unknown addresses
+// identify themselves (so partitions can name raw addresses too).
+func (f *Faulty) ownerOf(addr string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if name, ok := f.owners[addr]; ok && name != "" {
+		return name
+	}
+	return addr
+}
+
+func (f *Faulty) count(name string) {
+	f.mu.Lock()
+	c := f.cfg.Counters
+	f.mu.Unlock()
+	c.Inc(name)
+}
+
+// --- endpoint ---
+
+type faultyEndpoint struct {
+	f    *Faulty
+	name string
+}
+
+func (e *faultyEndpoint) Listen(addr string) (Listener, error) {
+	l, err := e.f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	e.f.mu.Lock()
+	e.f.owners[l.Addr()] = e.name
+	e.f.mu.Unlock()
+	return &faultyListener{f: e.f, name: e.name, inner: l}, nil
+}
+
+func (e *faultyEndpoint) Dial(addr string) (Conn, error) {
+	f := e.f
+	to := f.ownerOf(addr)
+	if f.partitioned(e.name, to) {
+		f.count("fault.partition_refuse")
+		return nil, fmt.Errorf("%w: %s (partitioned)", ErrRefused, addr)
+	}
+	link := f.linkFor(e.name, to)
+	cfg := f.Config()
+	if link.chance(cfg.RefuseDial) {
+		f.count("fault.refuse")
+		return nil, fmt.Errorf("%w: %s (injected)", ErrRefused, addr)
+	}
+	inner, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyConn{f: f, from: e.name, to: to, link: link, inner: inner}, nil
+}
+
+// --- listener ---
+
+type faultyListener struct {
+	f     *Faulty
+	name  string
+	inner Listener
+
+	mu    sync.Mutex
+	conns int
+}
+
+func (l *faultyListener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	// The dialer's identity is not carried in-band, so the server side of
+	// a connection gets its own per-connection fault stream, seeded
+	// deterministically from the accept order. Partition rules cannot
+	// match this direction on an established connection — like a real
+	// asymmetric partition, responses already in flight still arrive —
+	// but every *new* exchange re-dials and is blocked at Dial.
+	l.mu.Lock()
+	l.conns++
+	peer := fmt.Sprintf("accepted#%d", l.conns)
+	l.mu.Unlock()
+	return &faultyConn{f: l.f, from: l.name, to: "", link: l.f.linkFor(l.name, peer), inner: c}, nil
+}
+
+func (l *faultyListener) Close() error { return l.inner.Close() }
+func (l *faultyListener) Addr() string { return l.inner.Addr() }
+
+// --- conn ---
+
+type faultyConn struct {
+	f        *Faulty
+	from, to string // endpoint names; to == "" on the accepted side
+	link     *linkState
+	inner    Conn
+}
+
+func (c *faultyConn) Send(m *wire.Message) error {
+	f := c.f
+	if c.to != "" && f.partitioned(c.from, c.to) {
+		// A black-holed link: the frame is silently lost, the sender
+		// cannot tell. Retry layers above discover it via timeout.
+		f.count("fault.partition_drop")
+		return nil
+	}
+	cfg := f.Config()
+	if c.link.chance(cfg.Drop) {
+		f.count("fault.drop")
+		return nil
+	}
+	if d := c.link.delay(cfg.DelayMin, cfg.DelayMax); d > 0 {
+		f.count("fault.delay")
+		time.Sleep(d)
+	}
+	if c.link.chance(cfg.Corrupt) {
+		f.count("fault.corrupt")
+		return c.inner.Send(&wire.Message{Type: poisonType, Seq: m.Seq})
+	}
+	if err := c.inner.Send(m); err != nil {
+		return err
+	}
+	if c.link.chance(cfg.Duplicate) {
+		f.count("fault.duplicate")
+		return c.inner.Send(m)
+	}
+	return nil
+}
+
+func (c *faultyConn) Recv() (*wire.Message, error) {
+	m, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Type == poisonType {
+		// The frame was corrupted in flight; the framing is unrecoverable,
+		// exactly as a real bad-magic stream would present.
+		return nil, wire.ErrBadMagic
+	}
+	return m, nil
+}
+
+func (c *faultyConn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+func (c *faultyConn) Close() error                  { return c.inner.Close() }
+func (c *faultyConn) RemoteAddr() string            { return c.inner.RemoteAddr() }

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bristle/internal/metrics"
+	"bristle/internal/wire"
+)
+
+// faultyPair dials a connected (client, server) pair between two named
+// endpoints of a Faulty over Mem.
+func faultyPair(t *testing.T, f *Faulty, from, to string) (Conn, Conn) {
+	t.Helper()
+	l, err := f.Endpoint(to).Listen(to + "-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	client, err := f.Endpoint(from).Dial(to + "-addr")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+func TestFaultyCleanPassesContract(t *testing.T) {
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 1})
+	exerciseTransport(t, f.Endpoint("n"), "node-a")
+}
+
+func TestFaultyDropLosesFrames(t *testing.T) {
+	c := metrics.NewCounters()
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 7, Drop: 1, Counters: c})
+	client, server := faultyPair(t, f, "a", "b")
+	if err := client.Send(&wire.Message{Type: wire.TPing, Seq: 1}); err != nil {
+		t.Fatalf("dropped send must look successful, got %v", err)
+	}
+	server.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := server.Recv(); !IsTimeout(err) {
+		t.Fatalf("dropped frame arrived anyway (err=%v)", err)
+	}
+	if c.Get("fault.drop") == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestFaultyRefuseDial(t *testing.T) {
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 7, RefuseDial: 1})
+	l, err := f.Endpoint("b").Listen("b-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := f.Endpoint("a").Dial("b-addr"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+}
+
+func TestFaultyCorruptSurfacesAsBadMagic(t *testing.T) {
+	c := metrics.NewCounters()
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 7, Corrupt: 1, Counters: c})
+	client, server := faultyPair(t, f, "a", "b")
+	if err := client.Send(&wire.Message{Type: wire.TPing, Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); !errors.Is(err, wire.ErrBadMagic) {
+		t.Fatalf("corrupted frame decoded as %v, want ErrBadMagic", err)
+	}
+	if c.Get("fault.corrupt") == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestFaultyDuplicateDeliversTwice(t *testing.T) {
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 7, Duplicate: 1})
+	client, server := faultyPair(t, f, "a", "b")
+	if err := client.Send(&wire.Message{Type: wire.TPing, Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		server.SetDeadline(time.Now().Add(time.Second))
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+		if m.Seq != 3 {
+			t.Fatalf("copy %d has seq %d", i, m.Seq)
+		}
+	}
+}
+
+func TestFaultyDelayAddsLatency(t *testing.T) {
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 7, DelayMin: 30 * time.Millisecond, DelayMax: 30 * time.Millisecond})
+	client, server := faultyPair(t, f, "a", "b")
+	start := time.Now()
+	if err := client.Send(&wire.Message{Type: wire.TPing}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("frame arrived after %v, want ≥ 30ms injected delay", elapsed)
+	}
+}
+
+func TestFaultyPartitionBlocksAndHeals(t *testing.T) {
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 7})
+	l, err := f.Endpoint("b").Listen("b-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	f.PartitionBoth("split", []string{"a"}, []string{"b"})
+	if _, err := f.Endpoint("a").Dial("b-addr"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("partitioned dial: %v, want ErrRefused", err)
+	}
+	// Unrelated endpoints still connect.
+	if c, err := f.Endpoint("c").Dial("b-addr"); err != nil {
+		t.Fatalf("unpartitioned dial failed: %v", err)
+	} else {
+		c.Close()
+	}
+	f.Heal("split")
+	c, err := f.Endpoint("a").Dial("b-addr")
+	if err != nil {
+		t.Fatalf("healed dial failed: %v", err)
+	}
+	c.Close()
+}
+
+func TestFaultyPartitionAsymmetric(t *testing.T) {
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 7})
+	for _, name := range []string{"a", "b"} {
+		l, err := f.Endpoint(name).Listen(name + "-addr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+	}
+	f.Partition("oneway", []string{"a"}, []string{"b"})
+	if _, err := f.Endpoint("a").Dial("b-addr"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("a→b should be blocked, got %v", err)
+	}
+	c, err := f.Endpoint("b").Dial("a-addr")
+	if err != nil {
+		t.Fatalf("b→a should pass, got %v", err)
+	}
+	c.Close()
+}
+
+func TestFaultyPartitionDropsEstablishedClientFrames(t *testing.T) {
+	c := metrics.NewCounters()
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 7, Counters: c})
+	client, server := faultyPair(t, f, "a", "b")
+	f.Partition("split", []string{"a"}, []string{"b"})
+	if err := client.Send(&wire.Message{Type: wire.TPing}); err != nil {
+		t.Fatalf("black-holed send must look successful, got %v", err)
+	}
+	server.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := server.Recv(); !IsTimeout(err) {
+		t.Fatalf("frame crossed the partition (err=%v)", err)
+	}
+	if c.Get("fault.partition_drop") == 0 {
+		t.Fatal("partition drop not counted")
+	}
+}
+
+// TestFaultySeededDeterminism: the same seed and the same per-link frame
+// order must inject the same faults.
+func TestFaultySeededDeterminism(t *testing.T) {
+	run := func() uint64 {
+		c := metrics.NewCounters()
+		f := NewFaulty(NewMem(), FaultConfig{Seed: 99, Drop: 0.5, Counters: c})
+		client, _ := faultyPair(t, f, "a", "b")
+		for i := 0; i < 200; i++ {
+			if err := client.Send(&wire.Message{Type: wire.TPing, Seq: uint32(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Get("fault.drop")
+	}
+	first, second := run(), run()
+	if first == 0 || first == 200 {
+		t.Fatalf("drop rate degenerate: %d/200", first)
+	}
+	if first != second {
+		t.Fatalf("same seed diverged: %d vs %d drops", first, second)
+	}
+}
+
+func TestFaultySetConfigTogglesChaos(t *testing.T) {
+	f := NewFaulty(NewMem(), FaultConfig{Seed: 5})
+	client, server := faultyPair(t, f, "a", "b")
+	if err := client.Send(&wire.Message{Type: wire.TPing, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err != nil {
+		t.Fatalf("clean phase: %v", err)
+	}
+	f.SetConfig(FaultConfig{Seed: 5, Drop: 1})
+	if err := client.Send(&wire.Message{Type: wire.TPing, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	server.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := server.Recv(); !IsTimeout(err) {
+		t.Fatalf("chaos phase delivered anyway (err=%v)", err)
+	}
+}

@@ -7,6 +7,7 @@ package transport
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -15,8 +16,34 @@ import (
 	"bristle/internal/wire"
 )
 
-// ErrClosed is returned after Close on listeners and conns.
-var ErrClosed = errors.New("transport: closed")
+// Sentinel errors. Callers classify them (via errors.Is) to decide
+// whether an operation is worth retrying.
+var (
+	// ErrClosed is returned after Close on listeners and conns.
+	ErrClosed = errors.New("transport: closed")
+	// ErrRefused means no listener answers at the address — transient in a
+	// mobile network, where the peer may be mid-rebind.
+	ErrRefused = errors.New("transport: connection refused")
+	// ErrBacklogFull means the listener exists but its accept queue stayed
+	// saturated for the bounded dial wait. Distinct from ErrRefused so
+	// callers can treat it as backpressure (retry soon) rather than
+	// absence.
+	ErrBacklogFull = errors.New("transport: accept backlog full")
+	// ErrTimeout is returned by Send/Recv when a deadline set with
+	// SetDeadline expires.
+	ErrTimeout = errors.New("transport: i/o timeout")
+)
+
+// IsTimeout reports whether err represents an exceeded deadline on any
+// transport (the in-memory ErrTimeout sentinel or a net.Error timeout
+// from the TCP stack).
+func IsTimeout(err error) bool {
+	if errors.Is(err, ErrTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // Conn is a bidirectional framed-message connection.
 type Conn interface {
@@ -24,6 +51,11 @@ type Conn interface {
 	Send(*wire.Message) error
 	// Recv blocks for the next message.
 	Recv() (*wire.Message, error)
+	// SetDeadline bounds every subsequent Send and Recv: an operation
+	// still blocked at t fails with an error satisfying IsTimeout. The
+	// zero time clears the deadline. It lets callers bound an exchange at
+	// the socket level, so a hung peer cannot block a reader forever.
+	SetDeadline(t time.Time) error
 	// Close tears the connection down; pending Recv returns an error.
 	Close() error
 	// RemoteAddr names the peer (dialable for TCP).
@@ -105,9 +137,10 @@ func (tc *tcpConn) Send(m *wire.Message) error {
 	return err
 }
 
-func (tc *tcpConn) Recv() (*wire.Message, error) { return wire.Decode(tc.c) }
-func (tc *tcpConn) Close() error                 { return tc.c.Close() }
-func (tc *tcpConn) RemoteAddr() string           { return tc.c.RemoteAddr().String() }
+func (tc *tcpConn) Recv() (*wire.Message, error)  { return wire.Decode(tc.c) }
+func (tc *tcpConn) SetDeadline(t time.Time) error { return tc.c.SetDeadline(t) }
+func (tc *tcpConn) Close() error                  { return tc.c.Close() }
+func (tc *tcpConn) RemoteAddr() string            { return tc.c.RemoteAddr().String() }
 
 // --- In-memory ---
 
@@ -115,6 +148,10 @@ func (tc *tcpConn) RemoteAddr() string           { return tc.c.RemoteAddr().Stri
 // for concurrent use and delivers frames through buffered channels —
 // deterministic and fast for tests.
 type Mem struct {
+	// BacklogWait bounds how long Dial waits for a saturated accept
+	// backlog to drain before failing with ErrBacklogFull (default 100ms).
+	BacklogWait time.Duration
+
 	mu        sync.Mutex
 	listeners map[string]*memListener
 	nextAuto  int
@@ -165,22 +202,39 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
-// Dial connects to a registered listener.
+// Dial connects to a registered listener. When the listener's accept
+// backlog is saturated, Dial waits up to BacklogWait for the accepter to
+// drain it — a briefly busy peer is backpressure, not failure — and only
+// then fails with ErrBacklogFull (distinct from ErrRefused so callers can
+// classify retryable congestion vs an absent peer).
 func (m *Mem) Dial(addr string) (Conn, error) {
 	m.mu.Lock()
 	l, ok := m.listeners[addr]
 	m.mu.Unlock()
 	if !ok {
-		return nil, errors.New("transport: connection refused: " + addr)
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
 	}
 	client, server := newMemPair(addr)
 	select {
 	case <-l.closed:
-		return nil, errors.New("transport: connection refused: " + addr)
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
 	case l.backlog <- server:
 		return client, nil
 	default:
-		return nil, errors.New("transport: backlog full: " + addr)
+	}
+	wait := m.BacklogWait
+	if wait <= 0 {
+		wait = 100 * time.Millisecond
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-l.closed:
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+	case l.backlog <- server:
+		return client, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %s", ErrBacklogFull, addr)
 	}
 }
 
@@ -223,6 +277,9 @@ type memConn struct {
 	once   sync.Once
 	peer   *memConn
 	remote string
+
+	dmu      sync.Mutex
+	deadline time.Time
 }
 
 func newMemPair(serverAddr string) (client, server *memConn) {
@@ -253,6 +310,8 @@ func (c *memConn) Send(m *wire.Message) error {
 		return io.ErrClosedPipe
 	default:
 	}
+	expired, stop := c.deadlineTimer()
+	defer stop()
 	select {
 	case <-c.closed:
 		return ErrClosed
@@ -260,13 +319,41 @@ func (c *memConn) Send(m *wire.Message) error {
 		return io.ErrClosedPipe
 	case c.out <- copied:
 		return nil
+	case <-expired:
+		return fmt.Errorf("%w: send", ErrTimeout)
 	}
 }
 
+// SetDeadline bounds subsequent Send and Recv calls; the zero time clears
+// the bound.
+func (c *memConn) SetDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.deadline = t
+	c.dmu.Unlock()
+	return nil
+}
+
+// deadlineTimer arms a timer for the current deadline. A nil channel
+// (no deadline) never fires in a select.
+func (c *memConn) deadlineTimer() (<-chan time.Time, func()) {
+	c.dmu.Lock()
+	d := c.deadline
+	c.dmu.Unlock()
+	if d.IsZero() {
+		return nil, func() {}
+	}
+	t := time.NewTimer(time.Until(d))
+	return t.C, func() { t.Stop() }
+}
+
 func (c *memConn) Recv() (*wire.Message, error) {
+	expired, stop := c.deadlineTimer()
+	defer stop()
 	select {
 	case m := <-c.in:
 		return m, nil
+	case <-expired:
+		return nil, fmt.Errorf("%w: recv", ErrTimeout)
 	case <-c.closed:
 		return nil, ErrClosed
 	case <-c.peer.closed:

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"io"
 	"sync"
 	"testing"
@@ -262,5 +263,127 @@ func TestTCPDialRefused(t *testing.T) {
 	tr := &TCP{DialTimeout: 500 * time.Millisecond}
 	if _, err := tr.Dial("127.0.0.1:1"); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestMemDialUnknownIsErrRefused(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("nowhere"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+}
+
+// TestMemBacklogFullDistinctSentinel saturates a never-accepting
+// listener: the dialer must wait the bounded BacklogWait, then fail with
+// ErrBacklogFull — never with ErrRefused.
+func TestMemBacklogFullDistinctSentinel(t *testing.T) {
+	m := NewMem()
+	m.BacklogWait = 20 * time.Millisecond
+	if _, err := m.Listen("busy"); err != nil {
+		t.Fatal(err)
+	}
+	var conns []Conn
+	for i := 0; ; i++ {
+		c, err := m.Dial("busy")
+		if err == nil {
+			conns = append(conns, c)
+			continue
+		}
+		if !errors.Is(err, ErrBacklogFull) {
+			t.Fatalf("saturated dial err = %v, want ErrBacklogFull", err)
+		}
+		if errors.Is(err, ErrRefused) {
+			t.Fatal("ErrBacklogFull must be distinct from ErrRefused")
+		}
+		break
+	}
+	if len(conns) != 64 {
+		t.Fatalf("backlog accepted %d dials before filling, want 64", len(conns))
+	}
+}
+
+// TestMemDialWaitsForBacklogDrain fills the backlog, then frees one slot
+// while a dial is waiting: the dial must succeed instead of failing fast.
+func TestMemDialWaitsForBacklogDrain(t *testing.T) {
+	m := NewMem()
+	m.BacklogWait = 2 * time.Second
+	l, err := m.Listen("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := m.Dial("busy"); err != nil {
+			t.Fatalf("fill dial %d: %v", i, err)
+		}
+	}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		l.Accept() // frees one backlog slot
+	}()
+	start := time.Now()
+	c, err := m.Dial("busy")
+	if err != nil {
+		t.Fatalf("dial during drain: %v", err)
+	}
+	c.Close()
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("dial returned before the backlog had room")
+	}
+}
+
+func TestMemConnDeadlineUnblocksRecv(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("dl")
+	client, err := m.Dial("dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	client.SetDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err = client.Recv()
+	if !errors.Is(err, ErrTimeout) || !IsTimeout(err) {
+		t.Fatalf("Recv past deadline: %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline did not bound Recv")
+	}
+	// Clearing the deadline restores blocking semantics: queued frames
+	// still arrive.
+	client.SetDeadline(time.Time{})
+}
+
+// TestTCPConnDeadlineUnblocksRecv is the satellite bugfix regression: a
+// hung peer (accepts, never answers) must cost at most the deadline, at
+// the socket level.
+func TestTCPConnDeadlineUnblocksRecv(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go l.Accept() // hung peer: accepts and goes silent
+
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !IsTimeout(err) {
+			t.Fatalf("Recv err = %v, want a timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked on a hung peer despite deadline")
 	}
 }

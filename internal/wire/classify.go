@@ -1,0 +1,25 @@
+package wire
+
+import "errors"
+
+// ErrEncode marks messages that cannot be serialized at all (oversized
+// address or entry list). It originates locally, so retrying the exchange
+// can never help.
+var ErrEncode = errors.New("wire: unencodable message")
+
+// Fatal reports whether err can never be cured by retrying the exchange:
+// the peer speaks an incompatible protocol revision, or the local message
+// itself is unencodable. Everything else a live exchange can return —
+// refused dials, timeouts, torn connections, corrupt frames (ErrBadMagic,
+// ErrTruncated, ErrTooLarge: the stream is ruined but a fresh connection
+// is not) — is transient under the paper's failure model and worth a
+// backed-off retry.
+func Fatal(err error) bool {
+	return errors.Is(err, ErrBadVersion) || errors.Is(err, ErrEncode)
+}
+
+// Retryable reports whether err is a transient failure that a capped,
+// jittered retry may cure. Nil errors are not retryable.
+func Retryable(err error) bool {
+	return err != nil && !Fatal(err)
+}

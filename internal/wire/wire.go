@@ -142,7 +142,7 @@ func Encode(m *Message) ([]byte, error) {
 		return nil, err
 	}
 	if len(m.Entries) > 65535 {
-		return nil, fmt.Errorf("wire: too many entries (%d)", len(m.Entries))
+		return nil, fmt.Errorf("%w: too many entries (%d)", ErrEncode, len(m.Entries))
 	}
 	w(uint16(len(m.Entries)))
 	for _, e := range m.Entries {
@@ -231,7 +231,7 @@ func decodeBody(mtype MsgType, payload []byte) (*Message, error) {
 
 func writeEntry(w *bytes.Buffer, e Entry) error {
 	if len(e.Addr) > 65535 {
-		return fmt.Errorf("wire: address too long (%d bytes)", len(e.Addr))
+		return fmt.Errorf("%w: address too long (%d bytes)", ErrEncode, len(e.Addr))
 	}
 	_ = binary.Write(w, binary.BigEndian, uint64(e.Key))
 	_ = binary.Write(w, binary.BigEndian, uint16(len(e.Addr)))
