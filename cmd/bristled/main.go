@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,6 +48,8 @@ func main() {
 	watch := flag.String("watch", "", "register interest in this node name and print its updates")
 	gossip := flag.Duration("gossip", 2*time.Second, "anti-entropy gossip interval")
 	stats := flag.Duration("stats", 30*time.Second, "resilience counter log interval (0 = only at exit)")
+	opTimeout := flag.Duration("op-timeout", 30*time.Second, "deadline for each foreground protocol operation")
+	noPool := flag.Bool("no-pool", false, "disable the multiplexed connection pool (dial per request)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
@@ -56,35 +59,48 @@ func main() {
 	}
 
 	counters := metrics.NewCounters()
-	cfg := live.Config{
-		Name:     *name,
-		Capacity: *capacity,
-		Mobile:   *mobile,
-		LeaseTTL: *lease,
-		Counters: counters,
+	gauges := metrics.NewGauges()
+	opts := []live.Option{
+		live.WithCapacity(*capacity),
+		live.WithLease(*lease),
+		live.WithCounters(counters),
+		live.WithGauges(gauges),
+	}
+	if *mobile {
+		opts = append(opts, live.WithMobile())
+	}
+	if *noPool {
+		opts = append(opts, live.WithoutPool())
 	}
 	if *verbose {
-		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+		opts = append(opts, live.WithLogger(log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)))
 	}
-	node := live.NewNode(cfg, &transport.TCP{})
+	node, err := live.New(*name, &transport.TCP{}, opts...)
+	if err != nil {
+		fatal(err)
+	}
 	if err := node.Start(*listen); err != nil {
 		fatal(err)
 	}
 	defer node.Close()
 	fmt.Printf("node %s key=%v listening on %s\n", *name, node.Key(), node.Addr())
 
+	// ctx ends on the first interrupt; every foreground operation also
+	// gets its own -op-timeout deadline on top.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *join != "" {
-		if err := node.JoinVia(*join); err != nil {
+		if err := withDeadline(ctx, *opTimeout, func(ctx context.Context) error {
+			return node.JoinViaContext(ctx, *join)
+		}); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("joined via %s; %d peers known\n", *join, len(node.KnownPeers()))
 	}
-	if err := node.Publish(); err != nil {
+	if err := withDeadline(ctx, *opTimeout, node.PublishContext); err != nil {
 		fmt.Fprintf(os.Stderr, "bristled: initial publish: %v\n", err)
 	}
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	// Gossip, lease renewal, and suspect probing run as library
 	// maintenance loops.
@@ -110,22 +126,24 @@ func main() {
 	}
 
 	if *watch != "" {
-		go watchLoop(node, *watch)
+		go watchLoop(ctx, node, *watch, *opTimeout)
 	}
 
 	for {
 		select {
-		case <-stop:
-			fmt.Printf("\nshutting down; counters: %s\n", counters)
+		case <-ctx.Done():
+			fmt.Printf("\nshutting down; counters: %s gauges: %s\n", counters, gauges)
 			return
 		case <-statsTick:
 			if suspects := node.Suspects(); len(suspects) > 0 {
-				fmt.Printf("stats: %s suspects=%v\n", counters, suspects)
+				fmt.Printf("stats: %s %s suspects=%v\n", counters, gauges, suspects)
 			} else {
-				fmt.Printf("stats: %s\n", counters)
+				fmt.Printf("stats: %s %s\n", counters, gauges)
 			}
 		case <-rebindTick:
-			if err := node.Rebind("127.0.0.1:0"); err != nil {
+			if err := withDeadline(ctx, *opTimeout, func(ctx context.Context) error {
+				return node.RebindContext(ctx, "127.0.0.1:0")
+			}); err != nil {
 				fmt.Fprintf(os.Stderr, "rebind: %v\n", err)
 				continue
 			}
@@ -136,19 +154,37 @@ func main() {
 	}
 }
 
+// withDeadline runs op under parent plus a per-operation timeout.
+func withDeadline(parent context.Context, d time.Duration, op func(context.Context) error) error {
+	ctx, cancel := context.WithTimeout(parent, d)
+	defer cancel()
+	return op(ctx)
+}
+
 // watchLoop resolves the watched node and registers interest, retrying
-// until it succeeds (the watched node may join later).
-func watchLoop(node *live.Node, watched string) {
+// until it succeeds (the watched node may join later) or ctx ends.
+func watchLoop(ctx context.Context, node *live.Node, watched string, opTimeout time.Duration) {
 	key := hashkey.FromName(watched)
-	for {
-		addr, err := node.Discover(key)
-		if err == nil {
-			if err := node.RegisterWith(addr); err == nil {
-				fmt.Printf("watching %s (key %v) at %s\n", watched, key, addr)
-				return
+	for ctx.Err() == nil {
+		err := withDeadline(ctx, opTimeout, func(ctx context.Context) error {
+			addr, err := node.DiscoverContext(ctx, key)
+			if err != nil {
+				return err
 			}
+			if err := node.RegisterWithContext(ctx, addr); err != nil {
+				return err
+			}
+			fmt.Printf("watching %s (key %v) at %s\n", watched, key, addr)
+			return nil
+		})
+		if err == nil {
+			return
 		}
-		time.Sleep(2 * time.Second)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(2 * time.Second):
+		}
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,19 +21,24 @@ import (
 func main() {
 	mem := transport.NewMem()
 
+	// The whole scenario runs under one deadline: any hang surfaces as a
+	// context error instead of a stuck process.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	// Three stationary nodes form the location layer; one mobile user.
-	boot := startNode(mem, live.Config{Name: "server-1", Capacity: 6})
-	s2 := startNode(mem, live.Config{Name: "server-2", Capacity: 5})
-	s3 := startNode(mem, live.Config{Name: "server-3", Capacity: 4})
-	alice := startNode(mem, live.Config{Name: "alice", Capacity: 2, Mobile: true})
+	boot := startNode(mem, "server-1", live.WithCapacity(6))
+	s2 := startNode(mem, "server-2", live.WithCapacity(5))
+	s3 := startNode(mem, "server-3", live.WithCapacity(4))
+	alice := startNode(mem, "alice", live.WithCapacity(2), live.WithMobile())
 	followers := []*live.Node{
-		startNode(mem, live.Config{Name: "bob", Capacity: 3}),
-		startNode(mem, live.Config{Name: "carol", Capacity: 2}),
-		startNode(mem, live.Config{Name: "dave", Capacity: 1}),
+		startNode(mem, "bob", live.WithCapacity(3)),
+		startNode(mem, "carol", live.WithCapacity(2)),
+		startNode(mem, "dave", live.WithCapacity(1)),
 	}
 	all := append([]*live.Node{s2, s3, alice}, followers...)
 	for _, n := range all {
-		must(n.JoinVia(boot.Addr()))
+		must(n.JoinViaContext(ctx, boot.Addr()))
 	}
 	rng := rand.New(rand.NewSource(1))
 	for round := 0; round < 4; round++ {
@@ -42,17 +48,17 @@ func main() {
 	}
 
 	// Alice publishes her location; followers register interest.
-	must(alice.Publish())
+	must(alice.PublishContext(ctx))
 	for _, f := range followers {
-		addr, err := f.Discover(alice.Key())
+		addr, err := f.DiscoverContext(ctx, alice.Key())
 		must(err)
-		must(f.RegisterWith(addr))
+		must(f.RegisterWithContext(ctx, addr))
 	}
 	fmt.Printf("alice online at %s with %d followers\n", alice.Addr(), len(alice.Registry()))
 
 	// Alice roams: each rebind republishes and pushes an LDT update.
 	for hop := 1; hop <= 3; hop++ {
-		must(alice.Rebind(""))
+		must(alice.RebindContext(ctx, ""))
 		fmt.Printf("\nalice moved to %s\n", alice.Addr())
 
 		for _, f := range followers {
@@ -64,7 +70,7 @@ func main() {
 				log.Fatalf("%s never heard about alice's move", nameOf(f))
 			}
 			// Deliver a chat message to the fresh address.
-			if err := f.Ping(alice.Addr()); err != nil {
+			if err := f.PingContext(ctx, alice.Addr()); err != nil {
 				log.Fatalf("%s → alice failed: %v", nameOf(f), err)
 			}
 			fmt.Printf("  %s → alice: \"still here after hop %d?\" delivered ✓\n", nameOf(f), hop)
@@ -72,12 +78,12 @@ func main() {
 	}
 
 	// A latecomer who never registered resolves Alice reactively.
-	late := startNode(mem, live.Config{Name: "erin", Capacity: 2})
-	must(late.JoinVia(boot.Addr()))
+	late := startNode(mem, "erin", live.WithCapacity(2))
+	must(late.JoinViaContext(ctx, boot.Addr()))
 	for round := 0; round < 3; round++ {
 		late.GossipOnce(rng)
 	}
-	addr, err := late.Discover(alice.Key())
+	addr, err := late.DiscoverContext(ctx, alice.Key())
 	must(err)
 	fmt.Printf("\nerin (late joiner) resolved alice reactively at %s ✓\n", addr)
 
@@ -88,10 +94,11 @@ func main() {
 
 var names = map[*live.Node]string{}
 
-func startNode(tr transport.Transport, cfg live.Config) *live.Node {
-	n := live.NewNode(cfg, tr)
+func startNode(tr transport.Transport, name string, opts ...live.Option) *live.Node {
+	n, err := live.New(name, tr, opts...)
+	must(err)
 	must(n.Start(""))
-	names[n] = cfg.Name
+	names[n] = name
 	return n
 }
 

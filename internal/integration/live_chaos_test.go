@@ -1,6 +1,7 @@
 package integration
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -20,6 +21,8 @@ import (
 // actually firing.
 func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 	const seed = 1234
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 	counters := metrics.NewCounters()
 	faulty := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{Seed: seed})
 
@@ -59,7 +62,7 @@ func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 
 	boot := all[0]
 	for _, nd := range all[1:] {
-		if err := nd.JoinVia(boot.Addr()); err != nil {
+		if err := nd.JoinViaContext(ctx, boot.Addr()); err != nil {
 			t.Fatalf("join: %v", err)
 		}
 	}
@@ -72,7 +75,7 @@ func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 		}
 	}
 	for _, name := range mobiles {
-		if err := nodes[name].Publish(); err != nil {
+		if err := nodes[name].PublishContext(ctx); err != nil {
 			t.Fatalf("publish %s: %v", name, err)
 		}
 	}
@@ -108,7 +111,7 @@ func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 	// Hold the partition well past the lease TTL: mainland renewals must
 	// keep u1 alive in the repository even while 20% of frames vanish.
 	time.Sleep(3 * leaseTTL / 2)
-	if err := nodes["u1"].Rebind(""); err != nil {
+	if err := nodes["u1"].RebindContext(ctx, ""); err != nil {
 		t.Fatalf("rebind under chaos: %v", err)
 	}
 	faulty.Heal("island")
@@ -121,7 +124,7 @@ func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 		t.Helper()
 		deadline := time.Now().Add(15 * time.Second)
 		for {
-			addr, err := from.Discover(target.Key())
+			addr, err := from.DiscoverContext(ctx, target.Key())
 			if err == nil && addr == target.Addr() {
 				return
 			}
@@ -144,7 +147,7 @@ func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 	stops[6] = func() {}
 	u1key := u1.Key()
 	expired := func() bool {
-		_, err := nodes["t2"].Discover(u1key)
+		_, err := nodes["t2"].DiscoverContext(ctx, u1key)
 		return errors.Is(err, live.ErrNotFound)
 	}
 	expiry := time.Now().Add(15 * time.Second)
@@ -160,5 +163,10 @@ func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 	}
 	if counters.Get("rpc.retries") == 0 {
 		t.Error("no retries recorded under 20% loss")
+	}
+	// The whole run rode the multiplexed pool: sessions were dialed, and
+	// every fault above was injected on long-lived pooled connections.
+	if counters.Get("pool.dials") == 0 {
+		t.Error("no pooled sessions dialed: chaos run did not exercise the pool")
 	}
 }

@@ -1,0 +1,95 @@
+package live
+
+// Benchmarks contrasting the two RPC transports: a fresh dial per
+// exchange (the pre-pool behaviour, kept as the saturation fallback)
+// versus multiplexing every exchange over one pooled connection.
+// Run with: go test -bench=BenchmarkRPC -benchmem ./internal/live
+import (
+	"context"
+	"testing"
+
+	"bristle/internal/transport"
+	"bristle/internal/wire"
+)
+
+// benchPair starts a ping server and returns a client node plus the
+// server address. Retries are disabled: a benchmark exchange either works
+// or the benchmark should fail loudly.
+func benchPair(b *testing.B, pooled bool) (*Node, string) {
+	b.Helper()
+	mem := transport.NewMem()
+	server := NewNode(Config{Name: "bench-server", Capacity: 2}, mem)
+	if err := server.Start(""); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { server.Close() })
+
+	cfg := Config{Name: "bench-client", Capacity: 1, RetryAttempts: 1}
+	cfg.Pool.Disabled = !pooled
+	client := NewNode(cfg, mem)
+	b.Cleanup(func() { client.Close() })
+	return client, server.Addr()
+}
+
+func BenchmarkRPCSequentialDial(b *testing.B) {
+	client, addr := benchPair(b, false)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.PingContext(ctx, addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRPCPooled(b *testing.B) {
+	client, addr := benchPair(b, true)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.PingContext(ctx, addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRPCSequentialDialParallel(b *testing.B) {
+	client, addr := benchPair(b, false)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := client.PingContext(ctx, addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRPCPooledParallel(b *testing.B) {
+	client, addr := benchPair(b, true)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := client.PingContext(ctx, addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRPCPooledRaw measures the pool's round trip without the
+// breaker/retry wrapping — the mux floor itself.
+func BenchmarkRPCPooledRaw(b *testing.B) {
+	client, addr := benchPair(b, true)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := client.pool.roundTrip(ctx, addr, &wire.Message{Type: wire.TPing}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -10,9 +10,16 @@
 // end: a mobile node re-binds to a new port, republishes, pushes updates
 // down a capacity-scheduled dissemination tree, and correspondents keep
 // reaching it.)
+//
+// Every public operation that can touch the network has a Context-suffixed
+// form (PublishContext, DiscoverContext, ...) that observes the caller's
+// cancellation and deadline end to end — through retries, backoff pauses,
+// dials, and pooled exchanges. The suffix-less forms are thin wrappers
+// over context.Background() kept for compatibility.
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -28,19 +35,15 @@ import (
 	"bristle/internal/wire"
 )
 
-// Errors.
-var (
-	ErrNotFound = errors.New("live: no valid location record")
-	ErrStopped  = errors.New("live: node stopped")
-)
-
 // Update is a proactive location update delivered to a registered node.
 type Update struct {
 	Key  hashkey.Key
 	Addr string
 }
 
-// Config parameterizes a live node.
+// Config parameterizes a live node. Prefer constructing nodes with New
+// and functional options (options.go); Config remains public for callers
+// that want to build the whole policy in one literal.
 type Config struct {
 	// Name seeds the node's hash key (FromName), standing in for a stable
 	// node identity independent of its network address.
@@ -56,9 +59,9 @@ type Config struct {
 	// record (§2.3.2 availability; discovery falls over across them).
 	// Minimum effective value 1; default 2.
 	Replication int
-	// RequestTimeout bounds one attempt of a request/response exchange,
-	// enforced at the socket level (Conn.SetDeadline): a peer that accepts
-	// but never answers costs at most this long per attempt. Default 10s.
+	// RequestTimeout bounds one attempt of a request/response exchange —
+	// a peer that accepts but never answers costs at most this long per
+	// attempt. Default 10s.
 	RequestTimeout time.Duration
 	// RetryAttempts caps how many times one exchange is attempted before
 	// giving up (default 4; 1 restores single-shot semantics).
@@ -79,51 +82,23 @@ type Config struct {
 	// SuspicionCooldown is how long a tripped breaker fails fast before it
 	// lets one probe through (half-open). Default 2s.
 	SuspicionCooldown time.Duration
+	// Pool tunes the multiplexed per-peer connection pool under the RPC
+	// layer. The zero value enables pooling with defaults; set
+	// Pool.Disabled to revert to dial-per-request exchanges.
+	Pool PoolConfig
 	// Counters optionally records resilience events (rpc.retries,
-	// rpc.timeouts, breaker.trips, ...); nil disables recording.
+	// rpc.timeouts, breaker.trips, pool.dials, ...); nil disables them.
 	Counters *metrics.Counters
+	// Gauges optionally exposes instantaneous pool state (pool.sessions,
+	// pool.inflight); nil disables them.
+	Gauges *metrics.Gauges
 	// Logger receives protocol diagnostics; nil silences them.
 	Logger *log.Logger
 }
 
-type storedLoc struct {
-	addr    string
-	expires time.Time
-	hasTTL  bool
-}
-
-func (s storedLoc) valid(now time.Time) bool {
-	return s.addr != "" && (!s.hasTTL || now.Before(s.expires))
-}
-
-// Node is one live Bristle participant.
-type Node struct {
-	cfg Config
-	key hashkey.Key
-	tr  transport.Transport
-
-	mu       sync.Mutex
-	listener transport.Listener
-	addr     string
-	peers    map[hashkey.Key]wire.Entry // known membership (incl. self)
-	store    map[hashkey.Key]storedLoc  // location repository fragment
-	registry map[hashkey.Key]wire.Entry // R(self): interested nodes
-	cache    map[hashkey.Key]storedLoc  // learned locations of others
-	seq      uint32
-	stopped  bool
-
-	bmu      sync.Mutex          // guards breakers, independent of mu
-	breakers map[string]*breaker // per-peer suspicion circuit breakers
-
-	rngMu sync.Mutex
-	rng   *rand.Rand // seeds retry jitter; per-node deterministic
-
-	wg      sync.WaitGroup
-	updates chan Update
-}
-
-// NewNode creates a stopped node. Call Start to begin serving.
-func NewNode(cfg Config, tr transport.Transport) *Node {
+// withDefaults fills every unset knob — the single place defaults live,
+// shared by NewNode and New.
+func (cfg Config) withDefaults() Config {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 1
 	}
@@ -151,8 +126,108 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 	if cfg.SuspicionCooldown <= 0 {
 		cfg.SuspicionCooldown = 2 * time.Second
 	}
+	cfg.Pool = cfg.Pool.withDefaults()
+	return cfg
+}
+
+type storedLoc struct {
+	addr    string
+	expires time.Time
+	hasTTL  bool
+}
+
+func (s storedLoc) valid(now time.Time) bool {
+	return s.addr != "" && (!s.hasTTL || now.Before(s.expires))
+}
+
+// listenerState is one network attachment point: the listener plus every
+// connection accepted through it, so closing the attachment also closes
+// the long-lived multiplexed connections remote pools hold against it
+// (without this, Close would wait forever on their serve goroutines).
+type listenerState struct {
+	l transport.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[transport.Conn]struct{}
+}
+
+func newListenerState(l transport.Listener) *listenerState {
+	return &listenerState{l: l, conns: make(map[transport.Conn]struct{})}
+}
+
+func (ls *listenerState) addr() string { return ls.l.Addr() }
+
+// track registers an accepted conn; false means the attachment already
+// closed and the conn must not be served.
+func (ls *listenerState) track(c transport.Conn) bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.closed {
+		return false
+	}
+	ls.conns[c] = struct{}{}
+	return true
+}
+
+func (ls *listenerState) forget(c transport.Conn) {
+	ls.mu.Lock()
+	delete(ls.conns, c)
+	ls.mu.Unlock()
+}
+
+// close shuts the listener and every tracked conn. Idempotent.
+func (ls *listenerState) close() {
+	ls.mu.Lock()
+	if ls.closed {
+		ls.mu.Unlock()
+		return
+	}
+	ls.closed = true
+	conns := make([]transport.Conn, 0, len(ls.conns))
+	for c := range ls.conns {
+		conns = append(conns, c)
+	}
+	ls.mu.Unlock()
+	ls.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Node is one live Bristle participant.
+type Node struct {
+	cfg  Config
+	key  hashkey.Key
+	tr   transport.Transport
+	pool *pool // nil when cfg.Pool.Disabled
+
+	mu       sync.Mutex
+	listener *listenerState
+	addr     string
+	peers    map[hashkey.Key]wire.Entry // known membership (incl. self)
+	store    map[hashkey.Key]storedLoc  // location repository fragment
+	registry map[hashkey.Key]wire.Entry // R(self): interested nodes
+	cache    map[hashkey.Key]storedLoc  // learned locations of others
+	seq      uint32
+	stopped  bool
+
+	bmu      sync.Mutex          // guards breakers, independent of mu
+	breakers map[string]*breaker // per-peer suspicion circuit breakers
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // seeds retry jitter; per-node deterministic
+
+	wg      sync.WaitGroup
+	updates chan Update
+}
+
+// NewNode creates a stopped node. Call Start to begin serving. (New in
+// options.go is the preferred constructor.)
+func NewNode(cfg Config, tr transport.Transport) *Node {
+	cfg = cfg.withDefaults()
 	key := hashkey.FromName(cfg.Name)
-	return &Node{
+	n := &Node{
 		cfg:      cfg,
 		key:      key,
 		tr:       tr,
@@ -164,6 +239,10 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 		rng:      rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
 		updates:  make(chan Update, 64),
 	}
+	if !cfg.Pool.Disabled {
+		n.pool = newPool(tr, cfg.Pool, cfg.Counters, cfg.Gauges)
+	}
+	return n
 }
 
 // Key returns the node's hash key.
@@ -187,23 +266,25 @@ func (n *Node) Start(listenAddr string) error {
 	if err != nil {
 		return err
 	}
+	ls := newListenerState(l)
 	n.mu.Lock()
 	if n.stopped {
 		n.mu.Unlock()
-		l.Close()
+		ls.close()
 		return ErrStopped
 	}
-	n.listener = l
-	n.addr = l.Addr()
+	n.listener = ls
+	n.addr = ls.addr()
 	n.peers[n.key] = n.selfEntryLocked()
 	n.mu.Unlock()
 
 	n.wg.Add(1)
-	go n.acceptLoop(l)
+	go n.acceptLoop(ls)
 	return nil
 }
 
-// Close stops serving and releases the listener.
+// Close stops serving: the connection pool drains, the listener and every
+// accepted connection close, and all server goroutines exit.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.stopped {
@@ -211,10 +292,13 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.stopped = true
-	l := n.listener
+	ls := n.listener
 	n.mu.Unlock()
-	if l != nil {
-		l.Close()
+	if n.pool != nil {
+		n.pool.Close()
+	}
+	if ls != nil {
+		ls.close()
 	}
 	n.wg.Wait()
 	return nil
@@ -243,30 +327,59 @@ func (n *Node) logf(format string, args ...interface{}) {
 	}
 }
 
-func (n *Node) acceptLoop(l transport.Listener) {
+func (n *Node) acceptLoop(ls *listenerState) {
 	defer n.wg.Done()
 	for {
-		conn, err := l.Accept()
+		conn, err := ls.l.Accept()
 		if err != nil {
 			return
 		}
+		if !ls.track(conn) {
+			conn.Close()
+			return
+		}
 		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			defer conn.Close()
-			for {
-				msg, err := conn.Recv()
+		go n.serveConn(ls, conn)
+	}
+}
+
+// serveConnWorkers bounds the concurrently running handlers of one
+// accepted connection.
+const serveConnWorkers = 64
+
+// serveConn serves one accepted connection. Each inbound message is
+// dispatched on its own goroutine (bounded by serveConnWorkers) with
+// responses serialized by a send mutex — a handler that blocks, or a
+// response that is slow to produce, cannot head-of-line-block the other
+// exchanges multiplexed on this connection.
+func (n *Node) serveConn(ls *listenerState, conn transport.Conn) {
+	defer n.wg.Done()
+	defer ls.forget(conn)
+	defer conn.Close()
+	var sendMu sync.Mutex
+	sem := make(chan struct{}, serveConnWorkers)
+	var handlers sync.WaitGroup
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(msg *wire.Message) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			if resp := n.handle(msg); resp != nil {
+				sendMu.Lock()
+				err := conn.Send(resp)
+				sendMu.Unlock()
 				if err != nil {
-					return
-				}
-				if resp := n.handle(msg); resp != nil {
-					if err := conn.Send(resp); err != nil {
-						return
-					}
+					return // conn broken; the Recv loop is failing too
 				}
 			}
-		}()
+		}(msg)
 	}
+	handlers.Wait()
 }
 
 // handle dispatches one inbound message and returns the response frame
@@ -361,7 +474,7 @@ func (n *Node) handleUpdate(m *wire.Message) {
 	n.logf("location update: %v now at %s, delegating %d", m.Self.Key, m.Self.Addr, len(m.Entries))
 	// Re-advertise to the delegated subtree (Figure 4 recursion).
 	if len(m.Entries) > 0 {
-		n.advertise(m.Self, m.Entries)
+		n.advertise(context.Background(), m.Self, m.Entries)
 	}
 }
 
@@ -418,12 +531,18 @@ func (n *Node) Registry() []wire.Entry {
 }
 
 // --- client-side operations ---
-// (request and oneWay live in rpc.go: retry/backoff + circuit breakers.)
+// (request and oneWay live in rpc.go: retry/backoff + circuit breakers,
+// multiplexed over the connection pool in pool.go.)
 
-// JoinVia contacts a bootstrap node, announces this node, and adopts the
-// returned membership.
+// JoinVia calls JoinViaContext with the background context.
 func (n *Node) JoinVia(bootstrapAddr string) error {
-	resp, err := n.request(bootstrapAddr, &wire.Message{Type: wire.TJoin, Self: n.SelfEntry()})
+	return n.JoinViaContext(context.Background(), bootstrapAddr)
+}
+
+// JoinViaContext contacts a bootstrap node, announces this node, and
+// adopts the returned membership.
+func (n *Node) JoinViaContext(ctx context.Context, bootstrapAddr string) error {
+	resp, err := n.request(ctx, bootstrapAddr, &wire.Message{Type: wire.TJoin, Self: n.SelfEntry()})
 	if err != nil {
 		return fmt.Errorf("live: join via %s: %w", bootstrapAddr, err)
 	}
@@ -467,7 +586,7 @@ func (n *Node) GossipOnce(rng *rand.Rand) (int, error) {
 		others = healthy
 	}
 	target := others[rng.Intn(len(others))]
-	resp, err := n.request(target.Addr, &wire.Message{Type: wire.TLeafExchange, Entries: mine})
+	resp, err := n.request(context.Background(), target.Addr, &wire.Message{Type: wire.TLeafExchange, Entries: mine})
 	if err != nil {
 		return 0, err
 	}
@@ -512,33 +631,50 @@ func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
 	return owners, nil
 }
 
-// Publish pushes this node's current address to the owners of its key
-// (the paper's location publication, k-replicated). It succeeds when at
-// least one replica stored the record.
-func (n *Node) Publish() error {
+// Publish calls PublishContext with the background context.
+func (n *Node) Publish() error { return n.PublishContext(context.Background()) }
+
+// PublishContext pushes this node's current address to the owners of its
+// key (the paper's location publication, k-replicated), contacting every
+// replica concurrently over pooled connections. It succeeds when at least
+// one replica stored the record.
+func (n *Node) PublishContext(ctx context.Context) error {
 	owners, err := n.ownersOf(n.key, n.cfg.Replication)
 	if err != nil {
 		return err
 	}
 	self := n.SelfEntry()
+	results := make(chan error, len(owners))
+	outstanding := 0
 	stored := 0
-	var lastErr error
 	for _, owner := range owners {
 		if owner.Key == n.key {
 			n.handlePublish(&wire.Message{Type: wire.TPublish, Self: self})
 			stored++
 			continue
 		}
-		resp, err := n.request(owner.Addr, &wire.Message{Type: wire.TPublish, Self: self})
-		if err != nil {
-			lastErr = fmt.Errorf("live: publish to %s: %w", owner.Addr, err)
-			continue
+		outstanding++
+		go func(owner wire.Entry) {
+			// Each replica gets its own message: Seq is stamped per
+			// exchange, so concurrent fan-out must not share frames.
+			resp, err := n.request(ctx, owner.Addr, &wire.Message{Type: wire.TPublish, Self: self})
+			switch {
+			case err != nil:
+				results <- fmt.Errorf("live: publish to %s: %w", owner.Addr, err)
+			case resp.Type != wire.TPublishAck:
+				results <- fmt.Errorf("live: unexpected publish response %v", resp.Type)
+			default:
+				results <- nil
+			}
+		}(owner)
+	}
+	var lastErr error
+	for i := 0; i < outstanding; i++ {
+		if err := <-results; err != nil {
+			lastErr = err
+		} else {
+			stored++
 		}
-		if resp.Type != wire.TPublishAck {
-			lastErr = fmt.Errorf("live: unexpected publish response %v", resp.Type)
-			continue
-		}
-		stored++
 	}
 	if stored == 0 {
 		return lastErr
@@ -546,9 +682,18 @@ func (n *Node) Publish() error {
 	return nil
 }
 
-// Discover resolves key's current address through the location layer,
-// falling over across the record's replicas (§2.3.2).
+// Discover calls DiscoverContext with the background context.
 func (n *Node) Discover(key hashkey.Key) (string, error) {
+	return n.DiscoverContext(context.Background(), key)
+}
+
+// DiscoverContext resolves key's current address through the location
+// layer, falling over across the record's replicas (§2.3.2) in
+// suspicion-aware order. The replicas are tried sequentially on purpose:
+// the common case is answered by the first healthy replica for the cost
+// of one exchange, and the ordering (healthy first) already bounds the
+// tail.
+func (n *Node) DiscoverContext(ctx context.Context, key hashkey.Key) (string, error) {
 	owners, err := n.ownersOf(key, n.cfg.Replication)
 	if err != nil {
 		return "", err
@@ -559,7 +704,7 @@ func (n *Node) Discover(key hashkey.Key) (string, error) {
 		if owner.Key == n.key {
 			resp = n.handleDiscover(&wire.Message{Type: wire.TDiscover, Key: key})
 		} else {
-			resp, err = n.request(owner.Addr, &wire.Message{Type: wire.TDiscover, Key: key})
+			resp, err = n.request(ctx, owner.Addr, &wire.Message{Type: wire.TDiscover, Key: key})
 			if err != nil {
 				lastErr = fmt.Errorf("live: discover via %s: %w", owner.Addr, err)
 				continue
@@ -579,10 +724,15 @@ func (n *Node) Discover(key hashkey.Key) (string, error) {
 	return "", ErrNotFound
 }
 
-// RegisterWith records this node's interest in the movement of the node
-// currently reachable at targetAddr.
+// RegisterWith calls RegisterWithContext with the background context.
 func (n *Node) RegisterWith(targetAddr string) error {
-	resp, err := n.request(targetAddr, &wire.Message{Type: wire.TRegister, Self: n.SelfEntry()})
+	return n.RegisterWithContext(context.Background(), targetAddr)
+}
+
+// RegisterWithContext records this node's interest in the movement of the
+// node currently reachable at targetAddr.
+func (n *Node) RegisterWithContext(ctx context.Context, targetAddr string) error {
+	resp, err := n.request(ctx, targetAddr, &wire.Message{Type: wire.TRegister, Self: n.SelfEntry()})
 	if err != nil {
 		return fmt.Errorf("live: register with %s: %w", targetAddr, err)
 	}
@@ -592,10 +742,17 @@ func (n *Node) RegisterWith(targetAddr string) error {
 	return nil
 }
 
-// Rebind moves a mobile node to a new listener (a new network attachment
-// point), republishes its location, and pushes the update through its
-// dissemination tree.
+// Rebind calls RebindContext with the background context.
 func (n *Node) Rebind(listenAddr string) error {
+	return n.RebindContext(context.Background(), listenAddr)
+}
+
+// RebindContext moves a mobile node to a new listener (a new network
+// attachment point), republishes its location, and pushes the update
+// through its dissemination tree. Connections accepted through the old
+// attachment point close with it, exactly as a real relocation severs
+// them.
+func (n *Node) RebindContext(ctx context.Context, listenAddr string) error {
 	if !n.cfg.Mobile {
 		return errors.New("live: node is not mobile")
 	}
@@ -603,28 +760,35 @@ func (n *Node) Rebind(listenAddr string) error {
 	if err != nil {
 		return err
 	}
+	ls := newListenerState(newL)
 	n.mu.Lock()
 	old := n.listener
-	n.listener = newL
-	n.addr = newL.Addr()
+	n.listener = ls
+	n.addr = ls.addr()
 	n.peers[n.key] = n.selfEntryLocked()
 	n.mu.Unlock()
 	if old != nil {
-		old.Close() // the old attachment point disappears
+		old.close() // the old attachment point disappears
 	}
 	n.wg.Add(1)
-	go n.acceptLoop(newL)
+	go n.acceptLoop(ls)
 	n.logf("rebound to %s", n.Addr())
 
-	if err := n.Publish(); err != nil {
+	if err := n.PublishContext(ctx); err != nil {
 		return err
 	}
-	return n.UpdateRegistry()
+	return n.UpdateRegistryContext(ctx)
 }
 
-// UpdateRegistry pushes this node's current address to every registered
-// node through the capacity-aware LDT of Figure 4.
+// UpdateRegistry calls UpdateRegistryContext with the background context.
 func (n *Node) UpdateRegistry() error {
+	return n.UpdateRegistryContext(context.Background())
+}
+
+// UpdateRegistryContext pushes this node's current address to every
+// registered node through the capacity-aware LDT of Figure 4, contacting
+// the tree's direct children concurrently.
+func (n *Node) UpdateRegistryContext(ctx context.Context) error {
 	n.mu.Lock()
 	members := make([]ldt.Member, 0, len(n.registry))
 	index := make(map[int32]wire.Entry, len(n.registry))
@@ -650,24 +814,30 @@ func (n *Node) UpdateRegistry() error {
 	// child receives its whole subtree as entries. A dead delegate is not
 	// an error: its subtree simply misses the push and recovers through
 	// late binding (§2.3.2) — the advertisement is best-effort.
+	var fan sync.WaitGroup
 	for _, child := range tree.Root.Children {
 		entry, ok := index[child.Member.ID]
 		if !ok {
 			continue
 		}
 		delegated := collectSubtree(child, index)
-		msg := &wire.Message{Type: wire.TUpdate, Self: self, Entries: delegated}
-		if err := n.oneWay(entry.Addr, msg); err != nil {
-			n.logf("update delegation to %s failed: %v", entry.Addr, err)
-		}
+		fan.Add(1)
+		go func(entry wire.Entry, delegated []wire.Entry) {
+			defer fan.Done()
+			msg := &wire.Message{Type: wire.TUpdate, Self: self, Entries: delegated}
+			if err := n.oneWay(ctx, entry.Addr, msg); err != nil {
+				n.logf("update delegation to %s failed: %v", entry.Addr, err)
+			}
+		}(entry, delegated)
 	}
+	fan.Wait()
 	return nil
 }
 
 // advertise forwards an update to the heads of a delegated subset,
 // re-partitioning by capacity (the receiving node runs Figure 4 on the
-// subset it was handed).
-func (n *Node) advertise(subject wire.Entry, delegated []wire.Entry) {
+// subset it was handed). The heads are contacted concurrently.
+func (n *Node) advertise(ctx context.Context, subject wire.Entry, delegated []wire.Entry) {
 	if len(delegated) == 0 {
 		return
 	}
@@ -683,16 +853,22 @@ func (n *Node) advertise(subject wire.Entry, delegated []wire.Entry) {
 		n.logf("advertise: %v", err)
 		return
 	}
+	var fan sync.WaitGroup
 	for _, child := range tree.Root.Children {
 		entry, ok := index[child.Member.ID]
 		if !ok {
 			continue
 		}
 		sub := collectSubtree(child, index)
-		if err := n.oneWay(entry.Addr, &wire.Message{Type: wire.TUpdate, Self: subject, Entries: sub}); err != nil {
-			n.logf("advertise to %s: %v", entry.Addr, err)
-		}
+		fan.Add(1)
+		go func(entry wire.Entry, sub []wire.Entry) {
+			defer fan.Done()
+			if err := n.oneWay(ctx, entry.Addr, &wire.Message{Type: wire.TUpdate, Self: subject, Entries: sub}); err != nil {
+				n.logf("advertise to %s: %v", entry.Addr, err)
+			}
+		}(entry, sub)
 	}
+	fan.Wait()
 }
 
 // collectSubtree gathers the wire entries of every node strictly below
@@ -723,9 +899,12 @@ func (n *Node) CachedAddr(key hashkey.Key) (string, bool) {
 	return rec.addr, true
 }
 
-// Ping checks liveness of a peer address.
-func (n *Node) Ping(addr string) error {
-	resp, err := n.request(addr, &wire.Message{Type: wire.TPing})
+// Ping calls PingContext with the background context.
+func (n *Node) Ping(addr string) error { return n.PingContext(context.Background(), addr) }
+
+// PingContext checks liveness of a peer address.
+func (n *Node) PingContext(ctx context.Context, addr string) error {
+	resp, err := n.request(ctx, addr, &wire.Message{Type: wire.TPing})
 	if err != nil {
 		return err
 	}
@@ -733,4 +912,13 @@ func (n *Node) Ping(addr string) error {
 		return fmt.Errorf("live: unexpected ping response %v", resp.Type)
 	}
 	return nil
+}
+
+// PoolSessions reports how many pooled peer sessions are currently open
+// (0 when pooling is disabled).
+func (n *Node) PoolSessions() int {
+	if n.pool == nil {
+		return 0
+	}
+	return n.pool.sessionCount()
 }

@@ -1,0 +1,489 @@
+package live
+
+// This file is the multiplexed connection pool under the RPC layer: one
+// long-lived transport.Conn per peer, shared by every concurrent exchange
+// with that peer. A writer goroutine serializes outbound frames, a reader
+// goroutine demultiplexes replies back to waiting callers by sequence
+// number — so an exchange costs a frame, not a dial, and many requests
+// are in flight on one connection at once. Broken sessions tear down,
+// fail their waiters with retryable errors, and are transparently
+// re-dialed by the next attempt, composing with the retry/backoff and
+// circuit-breaker machinery in rpc.go.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bristle/internal/metrics"
+	"bristle/internal/transport"
+	"bristle/internal/wire"
+)
+
+// PoolConfig tunes the per-peer multiplexed connection pool.
+type PoolConfig struct {
+	// Disabled reverts every exchange to the dial-per-request path (the
+	// pre-pool behaviour; also the baseline of BenchmarkRPCSequentialDial).
+	Disabled bool
+	// MaxSessions caps how many peers hold a pooled session at once. At
+	// the cap the least-recently-used idle session is evicted; if every
+	// session is busy the overflow exchange runs on a one-shot connection.
+	// Default 64.
+	MaxSessions int
+	// MaxInflight bounds the outbound frames queued to one session's
+	// writer; enqueues past it wait (backpressure). Default 128.
+	MaxInflight int
+	// IdleTimeout evicts sessions with no traffic for this long. Zero
+	// defaults to 60s; negative disables idle eviction.
+	IdleTimeout time.Duration
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 128
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// errPoolSaturated is internal: every session slot is busy, so the
+// caller should fall back to a one-shot connection for this exchange.
+var errPoolSaturated = errors.New("live: pool saturated")
+
+// errSessionIdle marks idle-eviction teardowns (never seen by callers:
+// an idle session has no waiters).
+var errSessionIdle = errors.New("live: session idle-evicted")
+
+// pool owns at most one session per peer address.
+type pool struct {
+	tr       transport.Transport
+	cfg      PoolConfig
+	counters *metrics.Counters
+	gauges   *metrics.Gauges
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*session
+
+	stopJanitor chan struct{}
+	wg          sync.WaitGroup // janitor + per-session read/write loops
+}
+
+func newPool(tr transport.Transport, cfg PoolConfig, counters *metrics.Counters, gauges *metrics.Gauges) *pool {
+	p := &pool{
+		tr:       tr,
+		cfg:      cfg.withDefaults(),
+		counters: counters,
+		gauges:   gauges,
+		sessions: make(map[string]*session),
+	}
+	if p.cfg.IdleTimeout > 0 {
+		p.stopJanitor = make(chan struct{})
+		p.wg.Add(1)
+		go p.janitor()
+	}
+	return p
+}
+
+func (p *pool) count(name string)          { p.counters.Inc(name) }
+func (p *pool) gaugeAdd(name string, d int64) { p.gauges.Add(name, d) }
+
+// session is one peer's long-lived multiplexed connection.
+type session struct {
+	p    *pool
+	addr string
+
+	ready   chan struct{} // closed once the creator's dial resolved
+	dialErr error         // set before ready closes
+
+	conn    transport.Conn
+	writeCh chan *wire.Message
+
+	mu       sync.Mutex
+	torn     bool
+	err      error // teardown cause, set before done closes
+	pending  map[uint32]chan *wire.Message
+	nextSeq  uint32
+	inflight int
+	lastUse  time.Time
+
+	done chan struct{} // closed by teardown
+}
+
+// acquire returns a live session for addr, dialing one if absent. The
+// creator dials inline (bounded by its ctx); concurrent acquirers of the
+// same address wait for that dial instead of racing their own.
+func (p *pool) acquire(ctx context.Context, addr string) (*session, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	s, ok := p.sessions[addr]
+	var victim *session
+	if !ok {
+		if len(p.sessions) >= p.cfg.MaxSessions {
+			if victim = p.lruIdleLocked(); victim == nil {
+				p.mu.Unlock()
+				return nil, errPoolSaturated
+			}
+			delete(p.sessions, victim.addr)
+		}
+		s = &session{
+			p:       p,
+			addr:    addr,
+			ready:   make(chan struct{}),
+			done:    make(chan struct{}),
+			writeCh: make(chan *wire.Message, p.cfg.MaxInflight),
+			pending: make(map[uint32]chan *wire.Message),
+			lastUse: time.Now(),
+		}
+		p.sessions[addr] = s
+		p.gauges.Set("pool.sessions", int64(len(p.sessions)))
+	}
+	p.mu.Unlock()
+
+	if victim != nil {
+		p.count("pool.evictions.cap")
+		victim.teardown(errSessionIdle)
+	}
+	if !ok {
+		return s, s.dial(ctx)
+	}
+	select {
+	case <-s.ready:
+	case <-s.done:
+		return nil, s.teardownErr()
+	case <-ctx.Done():
+		return nil, fmt.Errorf("live: pooled dial %s: %w", addr, ctx.Err())
+	}
+	if s.dialErr != nil {
+		return nil, s.dialErr
+	}
+	return s, nil
+}
+
+// dial is run once, by the session's creator. On success it starts the
+// session's read and write loops.
+func (s *session) dial(ctx context.Context) error {
+	conn, err := transport.DialContext(ctx, s.p.tr, s.addr)
+	if err != nil {
+		s.dialErr = err
+		close(s.ready)
+		s.p.drop(s)
+		s.teardown(err)
+		return err
+	}
+	s.mu.Lock()
+	if s.torn { // pool closed or session evicted while dialing
+		err := s.err
+		s.mu.Unlock()
+		conn.Close()
+		s.dialErr = err
+		close(s.ready)
+		return err
+	}
+	s.conn = conn
+	s.mu.Unlock()
+	close(s.ready)
+	s.p.count("pool.dials")
+	s.p.wg.Add(2)
+	go s.writeLoop()
+	go s.readLoop()
+	return nil
+}
+
+func (s *session) writeLoop() {
+	defer s.p.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case m := <-s.writeCh:
+			if err := s.conn.Send(m); err != nil {
+				s.teardown(fmt.Errorf("live: pooled send to %s: %w", s.addr, err))
+				return
+			}
+		}
+	}
+}
+
+// readLoop demultiplexes inbound frames to their waiting callers by
+// sequence number. Replies nobody is waiting for — a duplicated frame's
+// second answer, or the answer to an abandoned (timed-out) request — are
+// counted and dropped. Any receive error tears the session down: on a
+// real stream a framing error is unrecoverable, and a fresh connection
+// is one retry away.
+func (s *session) readLoop() {
+	defer s.p.wg.Done()
+	for {
+		m, err := s.conn.Recv()
+		if err != nil {
+			s.teardown(fmt.Errorf("live: pooled recv from %s: %w", s.addr, err))
+			return
+		}
+		s.mu.Lock()
+		ch, ok := s.pending[m.Seq]
+		if ok {
+			delete(s.pending, m.Seq)
+		}
+		s.mu.Unlock()
+		if !ok {
+			s.p.count("pool.demux.orphans")
+			continue
+		}
+		ch <- m // buffered (cap 1); never blocks
+	}
+}
+
+// teardown closes the session exactly once: waiters fail, the conn
+// closes, and the pool forgets the session so the next attempt re-dials.
+func (s *session) teardown(err error) {
+	s.mu.Lock()
+	if s.torn {
+		s.mu.Unlock()
+		return
+	}
+	s.torn = true
+	s.err = err
+	conn := s.conn
+	pend := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	close(s.done)
+	if conn != nil {
+		conn.Close()
+	}
+	s.p.drop(s)
+	for _, ch := range pend {
+		close(ch) // closed reply channel = session failed; see roundTrip
+	}
+	if err != errSessionIdle && err != ErrPoolClosed {
+		s.p.count("pool.broken")
+	}
+}
+
+func (s *session) teardownErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return ErrPoolClosed
+}
+
+// register assigns the next sequence number and parks a reply channel
+// for it. Fails if the session is already torn.
+func (s *session) register(m *wire.Message) (uint32, chan *wire.Message, error) {
+	s.mu.Lock()
+	if s.torn {
+		err := s.err
+		s.mu.Unlock()
+		return 0, nil, err
+	}
+	s.nextSeq++
+	seq := s.nextSeq
+	m.Seq = seq
+	reply := make(chan *wire.Message, 1)
+	s.pending[seq] = reply
+	s.inflight++
+	s.lastUse = time.Now()
+	s.mu.Unlock()
+	s.p.gaugeAdd("pool.inflight", 1)
+	return seq, reply, nil
+}
+
+func (s *session) unregister(seq uint32) {
+	s.mu.Lock()
+	if s.pending != nil {
+		delete(s.pending, seq)
+	}
+	s.mu.Unlock()
+}
+
+func (s *session) endUse() {
+	s.mu.Lock()
+	s.inflight--
+	s.lastUse = time.Now()
+	s.mu.Unlock()
+	s.p.gaugeAdd("pool.inflight", -1)
+}
+
+// roundTrip runs one request/response exchange over the shared
+// connection, bounded by ctx. A slow reply to another caller cannot
+// block this one: each waiter parks on its own demux channel.
+//
+// The frame is enqueued as a private shallow copy: an abandoned attempt's
+// frame may still sit in the write queue when the retry re-stamps Seq, so
+// attempts must never share a Message with the writer.
+func (s *session) roundTrip(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	mm := *m
+	seq, reply, err := s.register(&mm)
+	if err != nil {
+		return nil, err
+	}
+	defer s.endUse()
+	select {
+	case s.writeCh <- &mm:
+	case <-s.done:
+		s.unregister(seq)
+		return nil, s.teardownErr()
+	case <-ctx.Done():
+		s.unregister(seq)
+		return nil, fmt.Errorf("live: pooled request to %s: %w", s.addr, ctx.Err())
+	}
+	select {
+	case resp, ok := <-reply:
+		if !ok {
+			return nil, s.teardownErr()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		s.unregister(seq)
+		return nil, fmt.Errorf("live: pooled request to %s: %w", s.addr, ctx.Err())
+	}
+}
+
+// send enqueues a one-way frame (no reply expected) on the shared
+// connection.
+func (s *session) send(ctx context.Context, m *wire.Message) error {
+	mm := *m
+	s.mu.Lock()
+	if s.torn {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	s.nextSeq++
+	mm.Seq = s.nextSeq
+	s.lastUse = time.Now()
+	s.mu.Unlock()
+	select {
+	case s.writeCh <- &mm:
+		return nil
+	case <-s.done:
+		return s.teardownErr()
+	case <-ctx.Done():
+		return fmt.Errorf("live: pooled send to %s: %w", s.addr, ctx.Err())
+	}
+}
+
+// roundTrip acquires (or dials) addr's session and runs one exchange.
+func (p *pool) roundTrip(ctx context.Context, addr string, m *wire.Message) (*wire.Message, error) {
+	s, err := p.acquire(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.roundTrip(ctx, m)
+}
+
+// send acquires (or dials) addr's session and enqueues a one-way frame.
+func (p *pool) send(ctx context.Context, addr string, m *wire.Message) error {
+	s, err := p.acquire(ctx, addr)
+	if err != nil {
+		return err
+	}
+	return s.send(ctx, m)
+}
+
+// drop forgets s unless a newer session already replaced it.
+func (p *pool) drop(s *session) {
+	p.mu.Lock()
+	if p.sessions[s.addr] == s {
+		delete(p.sessions, s.addr)
+	}
+	p.gauges.Set("pool.sessions", int64(len(p.sessions)))
+	p.mu.Unlock()
+}
+
+// lruIdleLocked returns the least-recently-used session with nothing in
+// flight, or nil. Caller holds p.mu.
+func (p *pool) lruIdleLocked() *session {
+	var oldest *session
+	var oldestUse time.Time
+	for _, s := range p.sessions {
+		s.mu.Lock()
+		idle := !s.torn && s.inflight == 0
+		use := s.lastUse
+		s.mu.Unlock()
+		if idle && (oldest == nil || use.Before(oldestUse)) {
+			oldest, oldestUse = s, use
+		}
+	}
+	return oldest
+}
+
+func (p *pool) janitor() {
+	defer p.wg.Done()
+	interval := p.cfg.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopJanitor:
+			return
+		case now := <-t.C:
+			p.evictIdle(now)
+		}
+	}
+}
+
+func (p *pool) evictIdle(now time.Time) {
+	p.mu.Lock()
+	var victims []*session
+	for _, s := range p.sessions {
+		s.mu.Lock()
+		idle := !s.torn && s.inflight == 0 && now.Sub(s.lastUse) >= p.cfg.IdleTimeout
+		s.mu.Unlock()
+		if idle {
+			victims = append(victims, s)
+		}
+	}
+	p.mu.Unlock()
+	for _, s := range victims {
+		p.count("pool.evictions.idle")
+		s.teardown(errSessionIdle)
+	}
+}
+
+// sessionCount reports the current number of pooled sessions.
+func (p *pool) sessionCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.sessions)
+}
+
+// Close tears down every session and stops the janitor, then waits for
+// all pool goroutines to exit. Idempotent.
+func (p *pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	victims := make([]*session, 0, len(p.sessions))
+	for _, s := range p.sessions {
+		victims = append(victims, s)
+	}
+	p.sessions = make(map[string]*session)
+	p.gauges.Set("pool.sessions", 0)
+	p.mu.Unlock()
+	if p.stopJanitor != nil {
+		close(p.stopJanitor)
+	}
+	for _, s := range victims {
+		s.teardown(ErrPoolClosed)
+	}
+	p.wg.Wait()
+}

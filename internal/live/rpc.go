@@ -6,8 +6,15 @@ package live
 // breaker — repeated failures mark it suspect so later operations fail
 // fast instead of burning a timeout, until a probe succeeds (§2.3.2's
 // graceful degradation, applied to the transport itself).
+//
+// Exchanges ride the multiplexed connection pool (pool.go) when one is
+// configured: one long-lived connection per peer, demultiplexed by
+// sequence number, with a transparent fallback to a one-shot dial when
+// the pool is saturated or disabled. Every exchange is bounded by the
+// caller's context on top of the per-attempt RequestTimeout.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,11 +23,6 @@ import (
 	"bristle/internal/transport"
 	"bristle/internal/wire"
 )
-
-// ErrPeerSuspect is returned without any network I/O when the target
-// peer's circuit breaker is open: recent exchanges failed repeatedly, and
-// the cooldown before the next probe has not elapsed.
-var ErrPeerSuspect = errors.New("live: peer suspect (circuit open)")
 
 // breakerState is the classic three-state circuit.
 type breakerState int
@@ -138,17 +140,21 @@ func (n *Node) ProbeSuspects() {
 // request performs one request/response exchange with addr under the full
 // resilience policy: breaker fail-fast, then up to RetryAttempts attempts
 // with capped exponential backoff and full jitter, each attempt bounded
-// at the socket by RequestTimeout, all attempts bounded by RetryBudget.
-func (n *Node) request(addr string, m *wire.Message) (*wire.Message, error) {
+// by RequestTimeout, all attempts bounded by RetryBudget and by ctx.
+func (n *Node) request(ctx context.Context, addr string, m *wire.Message) (*wire.Message, error) {
 	if err := n.breakerAllow(addr); err != nil {
 		return nil, err
 	}
-	resp, err := n.requestRetry(addr, m)
-	n.breakerResult(addr, err)
+	resp, err := n.requestRetry(ctx, addr, m)
+	// A failure caused by the caller giving up (ctx canceled or expired)
+	// is not evidence against the peer; success still counts in its favor.
+	if err == nil || ctx.Err() == nil {
+		n.breakerResult(addr, err)
+	}
 	return resp, err
 }
 
-func (n *Node) requestRetry(addr string, m *wire.Message) (*wire.Message, error) {
+func (n *Node) requestRetry(ctx context.Context, addr string, m *wire.Message) (*wire.Message, error) {
 	deadline := time.Now().Add(n.cfg.RetryBudget)
 	var lastErr error
 	for attempt := 0; attempt < n.cfg.RetryAttempts; attempt++ {
@@ -157,11 +163,19 @@ func (n *Node) requestRetry(addr string, m *wire.Message) (*wire.Message, error)
 			if time.Now().Add(pause).After(deadline) {
 				break // budget exhausted: report the last real error
 			}
-			time.Sleep(pause)
+			if err := sleepCtx(ctx, pause); err != nil {
+				break // caller gave up mid-backoff
+			}
 			n.count("rpc.retries")
 		}
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("live: request to %s: %w", addr, err)
+			}
+			break
+		}
 		n.count("rpc.attempts")
-		resp, err := n.attempt(addr, m)
+		resp, err := n.attempt(ctx, addr, m)
 		if err == nil {
 			return resp, nil
 		}
@@ -169,7 +183,7 @@ func (n *Node) requestRetry(addr string, m *wire.Message) (*wire.Message, error)
 		if transport.IsTimeout(err) {
 			n.count("rpc.timeouts")
 		}
-		if !wire.Retryable(err) {
+		if !Retryable(err) {
 			n.count("rpc.fatal")
 			return nil, err
 		}
@@ -178,15 +192,53 @@ func (n *Node) requestRetry(addr string, m *wire.Message) (*wire.Message, error)
 	return nil, lastErr
 }
 
-// attempt runs a single dial-send-recv exchange, bounded at the socket
-// level by RequestTimeout so a hung peer cannot block Recv forever.
-func (n *Node) attempt(addr string, m *wire.Message) (*wire.Message, error) {
-	conn, err := n.tr.Dial(addr)
+// sleepCtx pauses for d, or returns ctx's error if it fires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attempt runs a single exchange, bounded by min(ctx, RequestTimeout).
+// With a pool, the exchange is multiplexed over addr's shared connection;
+// a saturated pool falls back to a one-shot dial for just this exchange.
+func (n *Node) attempt(ctx context.Context, addr string, m *wire.Message) (*wire.Message, error) {
+	actx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+	defer cancel()
+	if p := n.pool; p != nil {
+		resp, err := p.roundTrip(actx, addr, m)
+		if !errors.Is(err, errPoolSaturated) {
+			return resp, err
+		}
+		n.count("pool.fallbacks")
+	}
+	return n.attemptDial(actx, addr, m)
+}
+
+// attemptDial is the unpooled path: dial, send, await the correlated
+// reply, close. The context bounds the dial and — via the socket deadline
+// — the exchange itself.
+func (n *Node) attemptDial(ctx context.Context, addr string, m *wire.Message) (*wire.Message, error) {
+	conn, err := transport.DialContext(ctx, n.tr, addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(n.cfg.RequestTimeout))
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	// A cancellation (not just a deadline) must also unblock Recv: force
+	// the socket deadline into the past the moment ctx fires.
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 	n.mu.Lock()
 	n.seq++
 	m.Seq = n.seq
@@ -222,24 +274,37 @@ func (n *Node) backoff(attempt int) time.Duration {
 	return time.Duration(n.rng.Int63n(int64(cap) + 1))
 }
 
-// oneWay dials addr and sends m without waiting for a response. It still
+// oneWay sends m to addr without waiting for a response. It still
 // consults the breaker (a suspect peer fails fast; late binding covers
 // the missed push) and feeds the outcome back into it.
-func (n *Node) oneWay(addr string, m *wire.Message) error {
+func (n *Node) oneWay(ctx context.Context, addr string, m *wire.Message) error {
 	if err := n.breakerAllow(addr); err != nil {
 		return err
 	}
-	err := n.oneWaySend(addr, m)
-	n.breakerResult(addr, err)
+	err := n.oneWaySend(ctx, addr, m)
+	if err == nil || ctx.Err() == nil {
+		n.breakerResult(addr, err)
+	}
 	return err
 }
 
-func (n *Node) oneWaySend(addr string, m *wire.Message) error {
-	conn, err := n.tr.Dial(addr)
+func (n *Node) oneWaySend(ctx context.Context, addr string, m *wire.Message) error {
+	actx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+	defer cancel()
+	if p := n.pool; p != nil {
+		err := p.send(actx, addr, m)
+		if !errors.Is(err, errPoolSaturated) {
+			return err
+		}
+		n.count("pool.fallbacks")
+	}
+	conn, err := transport.DialContext(actx, n.tr, addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(n.cfg.RequestTimeout))
+	if dl, ok := actx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
 	return conn.Send(m)
 }

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Gauges is a concurrency-safe registry of named instantaneous values —
+// the level-style counterpart of Counters, used by the live connection
+// pool to expose how many sessions are open and how many requests are in
+// flight right now. Like Counters, a nil *Gauges is a valid no-op sink.
+type Gauges struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewGauges returns an empty registry.
+func NewGauges() *Gauges {
+	return &Gauges{m: make(map[string]int64)}
+}
+
+// Add moves the named gauge by d (negative to decrement). No-op on a nil
+// registry.
+func (g *Gauges) Add(name string, d int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.m[name] += d
+	g.mu.Unlock()
+}
+
+// Set pins the named gauge to v. No-op on a nil registry.
+func (g *Gauges) Set(name string, v int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.m[name] = v
+	g.mu.Unlock()
+}
+
+// Get returns the named gauge's value (0 when absent or nil registry).
+func (g *Gauges) Get(name string) int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.m[name]
+}
+
+// Snapshot copies every gauge, for iteration without holding the lock.
+func (g *Gauges) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if g == nil {
+		return out
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for k, v := range g.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the gauges as "name=value" pairs in sorted order.
+func (g *Gauges) String() string {
+	snap := g.Snapshot()
+	if len(snap) == 0 {
+		return "(no gauges)"
+	}
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// legacyDialer is a Transport WITHOUT DialContext, to exercise the
+// compatibility fallback in the package-level DialContext helper.
+type legacyDialer struct {
+	inner *Mem
+	dials int
+}
+
+func (d *legacyDialer) Listen(addr string) (Listener, error) { return d.inner.Listen(addr) }
+func (d *legacyDialer) Dial(addr string) (Conn, error) {
+	d.dials++
+	return d.inner.Dial(addr)
+}
+
+func TestDialContextCanceledBeforeDial(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Listen("srv"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(ctx, m, "srv"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dial with canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMemDialContextDeadlineBeatsBacklogWait saturates a never-accepting
+// listener and dials with a context deadline much shorter than
+// BacklogWait: the dial must honor the caller's deadline, and the error
+// must classify as a timeout for the retry layer.
+func TestMemDialContextDeadlineBeatsBacklogWait(t *testing.T) {
+	m := NewMem()
+	m.BacklogWait = 5 * time.Second
+	if _, err := m.Listen("busy"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := m.Dial("busy"); err != nil {
+			t.Fatalf("fill dial %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := m.DialContext(ctx, "busy")
+	waited := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !IsTimeout(err) {
+		t.Errorf("context deadline on dial must classify as timeout, got %v", err)
+	}
+	if waited >= time.Second {
+		t.Errorf("dial waited %v; the context deadline (30ms) should have cut the 5s backlog wait", waited)
+	}
+}
+
+// TestDialContextFallsBackToPlainDial verifies transports without a
+// DialContext method still work through the helper (using plain Dial).
+func TestDialContextFallsBackToPlainDial(t *testing.T) {
+	d := &legacyDialer{inner: NewMem()}
+	l, err := d.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go l.Accept()
+	c, err := DialContext(context.Background(), d, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if d.dials != 1 {
+		t.Errorf("fallback used Dial %d times, want 1", d.dials)
+	}
+	// Even on the fallback path, an already-dead context must not dial.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(ctx, d, "srv"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("fallback with canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if d.dials != 1 {
+		t.Errorf("canceled fallback still dialed (dials = %d)", d.dials)
+	}
+}
+
+// TestFaultyDialContextPropagates verifies the fault-injecting wrapper
+// forwards the caller's context to the inner transport.
+func TestFaultyDialContextPropagates(t *testing.T) {
+	m := NewMem()
+	m.BacklogWait = 5 * time.Second
+	f := NewFaulty(m, FaultConfig{})
+	if _, err := f.Listen("busy"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := f.Dial("busy"); err != nil {
+			t.Fatalf("fill dial %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := f.DialContext(ctx, "busy"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited >= time.Second {
+		t.Errorf("faulty dial waited %v, want ~30ms", waited)
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -130,6 +131,11 @@ func (f *Faulty) Listen(addr string) (Listener, error) { return f.Endpoint("").L
 // Dial implements Transport for the anonymous endpoint.
 func (f *Faulty) Dial(addr string) (Conn, error) { return f.Endpoint("").Dial(addr) }
 
+// DialContext implements ContextDialer for the anonymous endpoint.
+func (f *Faulty) DialContext(ctx context.Context, addr string) (Conn, error) {
+	return f.Endpoint("").(ContextDialer).DialContext(ctx, addr)
+}
+
 // Partition installs (or extends) a named one-way partition: dials and
 // frames from any endpoint in from to any endpoint in to fail until
 // Heal(name). Entries match endpoint names, or listener addresses for
@@ -229,6 +235,13 @@ func (e *faultyEndpoint) Listen(addr string) (Listener, error) {
 }
 
 func (e *faultyEndpoint) Dial(addr string) (Conn, error) {
+	return e.DialContext(context.Background(), addr)
+}
+
+// DialContext injects the same per-link dial faults as Dial, then dials
+// the inner transport with the caller's context (fault injection stays
+// on pooled/multiplexed conns exactly as on one-shot ones).
+func (e *faultyEndpoint) DialContext(ctx context.Context, addr string) (Conn, error) {
 	f := e.f
 	to := f.ownerOf(addr)
 	if f.partitioned(e.name, to) {
@@ -241,7 +254,7 @@ func (e *faultyEndpoint) Dial(addr string) (Conn, error) {
 		f.count("fault.refuse")
 		return nil, fmt.Errorf("%w: %s (injected)", ErrRefused, addr)
 	}
-	inner, err := f.inner.Dial(addr)
+	inner, err := DialContext(ctx, f.inner, addr)
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,9 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -76,6 +78,28 @@ type Transport interface {
 	Dial(addr string) (Conn, error)
 }
 
+// ContextDialer is implemented by transports whose connection attempts
+// can be bounded by a context, so a caller's deadline covers the dial
+// itself and not just post-dial I/O. TCP, Mem, and Faulty endpoints all
+// implement it.
+type ContextDialer interface {
+	DialContext(ctx context.Context, addr string) (Conn, error)
+}
+
+// DialContext dials addr through tr, honoring ctx when the transport
+// supports it and falling back to a plain Dial otherwise (after a
+// fast-path check that ctx is still live). The error for an expired
+// deadline satisfies IsTimeout.
+func DialContext(ctx context.Context, tr Transport, addr string) (Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if cd, ok := tr.(ContextDialer); ok {
+		return cd.DialContext(ctx, addr)
+	}
+	return tr.Dial(addr)
+}
+
 // --- TCP ---
 
 // TCP is the production transport over the operating system's TCP stack.
@@ -96,11 +120,18 @@ func (t *TCP) Listen(addr string) (Listener, error) {
 
 // Dial connects to a listener address.
 func (t *TCP) Dial(addr string) (Conn, error) {
+	return t.DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a listener address, bounded by both ctx and
+// DialTimeout — whichever expires first aborts the attempt.
+func (t *TCP) DialContext(ctx context.Context, addr string) (Conn, error) {
 	timeout := t.DialTimeout
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
-	c, err := net.DialTimeout("tcp", addr, timeout)
+	d := net.Dialer{Timeout: timeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -121,23 +152,27 @@ func (tl *tcpListener) Addr() string { return tl.l.Addr().String() }
 
 type tcpConn struct {
 	c  net.Conn
-	mu sync.Mutex // serializes writers
+	r  *bufio.Reader
+	mu sync.Mutex // serializes writers; also guards scratch
+
+	scratch []byte // reused frame-encode buffer, owned under mu
 }
 
-func newTCPConn(c net.Conn) *tcpConn { return &tcpConn{c: c} }
+func newTCPConn(c net.Conn) *tcpConn { return &tcpConn{c: c, r: bufio.NewReader(c)} }
 
 func (tc *tcpConn) Send(m *wire.Message) error {
-	frame, err := wire.Encode(m)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	frame, err := wire.AppendFrame(tc.scratch[:0], m)
 	if err != nil {
 		return err
 	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
+	tc.scratch = frame
 	_, err = tc.c.Write(frame)
 	return err
 }
 
-func (tc *tcpConn) Recv() (*wire.Message, error)  { return wire.Decode(tc.c) }
+func (tc *tcpConn) Recv() (*wire.Message, error)  { return wire.Decode(tc.r) }
 func (tc *tcpConn) SetDeadline(t time.Time) error { return tc.c.SetDeadline(t) }
 func (tc *tcpConn) Close() error                  { return tc.c.Close() }
 func (tc *tcpConn) RemoteAddr() string            { return tc.c.RemoteAddr().String() }
@@ -208,6 +243,13 @@ func itoa(n int) string {
 // then fails with ErrBacklogFull (distinct from ErrRefused so callers can
 // classify retryable congestion vs an absent peer).
 func (m *Mem) Dial(addr string) (Conn, error) {
+	return m.DialContext(context.Background(), addr)
+}
+
+// DialContext dials like Dial but also aborts — including during the
+// backlog wait — as soon as ctx is cancelled or its deadline passes, so
+// the caller's deadline bounds the whole dial, not just post-dial I/O.
+func (m *Mem) DialContext(ctx context.Context, addr string) (Conn, error) {
 	m.mu.Lock()
 	l, ok := m.listeners[addr]
 	m.mu.Unlock()
@@ -233,6 +275,8 @@ func (m *Mem) Dial(addr string) (Conn, error) {
 		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
 	case l.backlog <- server:
 		return client, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, ctx.Err())
 	case <-timer.C:
 		return nil, fmt.Errorf("%w: %s", ErrBacklogFull, addr)
 	}
@@ -293,12 +337,17 @@ func newMemPair(serverAddr string) (client, server *memConn) {
 
 func (c *memConn) Send(m *wire.Message) error {
 	// Round-trip through the codec so the mem transport exercises exactly
-	// the same encoding invariants as TCP.
-	frame, err := wire.Encode(m)
+	// the same encoding invariants as TCP, using pooled scratch so the
+	// detour costs no per-frame allocation.
+	fp := wire.GetFrame()
+	frame, err := wire.AppendFrame(*fp, m)
 	if err != nil {
+		wire.PutFrame(fp)
 		return err
 	}
 	copied, err := wire.Decode(bytes.NewReader(frame))
+	*fp = frame[:0]
+	wire.PutFrame(fp)
 	if err != nil {
 		return err
 	}

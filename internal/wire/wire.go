@@ -9,11 +9,12 @@
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 
 	"bristle/internal/hashkey"
 )
@@ -125,48 +126,77 @@ type Message struct {
 	Seq uint32
 }
 
-// Encode serializes the message as one frame.
-func Encode(m *Message) ([]byte, error) {
-	var body bytes.Buffer
-	w := func(v interface{}) {
-		_ = binary.Write(&body, binary.BigEndian, v)
+// headerSize is the fixed frame preamble: magic (2), version (1),
+// type (1), payload length (4).
+const headerSize = 8
+
+// framePool recycles encode scratch buffers so a steady stream of frames
+// (the hot path of a multiplexed connection) allocates nothing per frame.
+var framePool = sync.Pool{
+	New: func() interface{} { b := make([]byte, 0, 1024); return &b },
+}
+
+// GetFrame borrows a reusable frame buffer from the codec's pool. Pass
+// its (length-zero) contents to AppendFrame and return it with PutFrame
+// once the encoded bytes have been written out.
+func GetFrame() *[]byte { return framePool.Get().(*[]byte) }
+
+// PutFrame returns a buffer borrowed with GetFrame to the pool. Buffers
+// that grew past MaxFrame are dropped rather than cached.
+func PutFrame(b *[]byte) {
+	if b == nil || cap(*b) > MaxFrame+headerSize {
+		return
 	}
-	w(uint64(m.Key))
-	w(m.Seq)
-	var flags uint8
+	*b = (*b)[:0]
+	framePool.Put(b)
+}
+
+// payloadPool recycles decode scratch: the frame payload is parsed and
+// fully copied into the returned Message, so the raw bytes can be reused.
+var payloadPool = sync.Pool{
+	New: func() interface{} { b := make([]byte, 0, 1024); return &b },
+}
+
+// AppendFrame appends m encoded as one complete frame to dst and returns
+// the extended slice. With a pooled dst (GetFrame/PutFrame) the encode
+// path is allocation-free.
+func AppendFrame(dst []byte, m *Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, byte(Magic>>8), byte(Magic&0xFF), Version, byte(m.Type), 0, 0, 0, 0)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Key))
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	var flags byte
 	if m.Found {
 		flags |= 1
 	}
-	w(flags)
-	if err := writeEntry(&body, m.Self); err != nil {
+	dst = append(dst, flags)
+	var err error
+	if dst, err = appendEntry(dst, m.Self); err != nil {
 		return nil, err
 	}
 	if len(m.Entries) > 65535 {
 		return nil, fmt.Errorf("%w: too many entries (%d)", ErrEncode, len(m.Entries))
 	}
-	w(uint16(len(m.Entries)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Entries)))
 	for _, e := range m.Entries {
-		if err := writeEntry(&body, e); err != nil {
+		if dst, err = appendEntry(dst, e); err != nil {
 			return nil, err
 		}
 	}
-
-	payload := body.Bytes()
-	if len(payload) > MaxFrame {
+	size := len(dst) - start - headerSize
+	if size > MaxFrame {
 		return nil, ErrTooLarge
 	}
-	var frame bytes.Buffer
-	_ = binary.Write(&frame, binary.BigEndian, Magic)
-	frame.WriteByte(Version)
-	frame.WriteByte(uint8(m.Type))
-	_ = binary.Write(&frame, binary.BigEndian, uint32(len(payload)))
-	frame.Write(payload)
-	return frame.Bytes(), nil
+	binary.BigEndian.PutUint32(dst[start+4:start+8], uint32(size))
+	return dst, nil
 }
+
+// Encode serializes the message as one frame.
+func Encode(m *Message) ([]byte, error) { return AppendFrame(nil, m) }
 
 // Decode parses one frame from r (blocking until a full frame arrives).
 func Decode(r io.Reader) (*Message, error) {
-	var hdr [8]byte
+	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -181,47 +211,49 @@ func Decode(r io.Reader) (*Message, error) {
 	if size > MaxFrame {
 		return nil, ErrTooLarge
 	}
-	payload := make([]byte, size)
+	pb := payloadPool.Get().(*[]byte)
+	if cap(*pb) < int(size) {
+		*pb = make([]byte, size)
+	}
+	payload := (*pb)[:size]
 	if _, err := io.ReadFull(r, payload); err != nil {
+		*pb = payload[:0]
+		payloadPool.Put(pb)
 		return nil, err
 	}
-	return decodeBody(mtype, payload)
+	m, err := decodeBody(mtype, payload)
+	*pb = payload[:0]
+	payloadPool.Put(pb)
+	return m, err
 }
 
-func decodeBody(mtype MsgType, payload []byte) (*Message, error) {
-	buf := bytes.NewReader(payload)
+func decodeBody(mtype MsgType, p []byte) (*Message, error) {
 	m := &Message{Type: mtype}
-	var key uint64
-	if err := binary.Read(buf, binary.BigEndian, &key); err != nil {
+	if len(p) < 13 { // key(8) + seq(4) + flags(1)
 		return nil, ErrTruncated
 	}
-	m.Key = hashkey.Key(key)
-	if err := binary.Read(buf, binary.BigEndian, &m.Seq); err != nil {
-		return nil, ErrTruncated
-	}
-	var flags uint8
-	if err := binary.Read(buf, binary.BigEndian, &flags); err != nil {
-		return nil, ErrTruncated
-	}
-	m.Found = flags&1 != 0
-	self, err := readEntry(buf)
+	m.Key = hashkey.Key(binary.BigEndian.Uint64(p))
+	m.Seq = binary.BigEndian.Uint32(p[8:])
+	m.Found = p[12]&1 != 0
+	p = p[13:]
+	e, p, err := readEntry(p)
 	if err != nil {
 		return nil, err
 	}
-	m.Self = self
-	var count uint16
-	if err := binary.Read(buf, binary.BigEndian, &count); err != nil {
+	m.Self = e
+	if len(p) < 2 {
 		return nil, ErrTruncated
 	}
-	if int(count) > buf.Len() { // each entry is ≥1 byte; cheap sanity bound
+	count := binary.BigEndian.Uint16(p)
+	p = p[2:]
+	if int(count) > len(p) { // each entry is ≥1 byte; cheap sanity bound
 		return nil, ErrTruncated
 	}
 	if count > 0 {
 		m.Entries = make([]Entry, 0, count)
 	}
 	for i := 0; i < int(count); i++ {
-		e, err := readEntry(buf)
-		if err != nil {
+		if e, p, err = readEntry(p); err != nil {
 			return nil, err
 		}
 		m.Entries = append(m.Entries, e)
@@ -229,49 +261,38 @@ func decodeBody(mtype MsgType, payload []byte) (*Message, error) {
 	return m, nil
 }
 
-func writeEntry(w *bytes.Buffer, e Entry) error {
+func appendEntry(dst []byte, e Entry) ([]byte, error) {
 	if len(e.Addr) > 65535 {
-		return fmt.Errorf("%w: address too long (%d bytes)", ErrEncode, len(e.Addr))
+		return nil, fmt.Errorf("%w: address too long (%d bytes)", ErrEncode, len(e.Addr))
 	}
-	_ = binary.Write(w, binary.BigEndian, uint64(e.Key))
-	_ = binary.Write(w, binary.BigEndian, uint16(len(e.Addr)))
-	w.WriteString(e.Addr)
-	_ = binary.Write(w, binary.BigEndian, e.Capacity)
-	_ = binary.Write(w, binary.BigEndian, e.TTLMilli)
-	var flags uint8
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.Key))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Addr)))
+	dst = append(dst, e.Addr...)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(e.Capacity))
+	dst = binary.BigEndian.AppendUint32(dst, e.TTLMilli)
+	var flags byte
 	if e.Mobile {
 		flags |= 1
 	}
-	w.WriteByte(flags)
-	return nil
+	dst = append(dst, flags)
+	return dst, nil
 }
 
-func readEntry(r *bytes.Reader) (Entry, error) {
+func readEntry(p []byte) (Entry, []byte, error) {
 	var e Entry
-	var key uint64
-	if err := binary.Read(r, binary.BigEndian, &key); err != nil {
-		return e, ErrTruncated
+	if len(p) < 10 { // key(8) + addrlen(2)
+		return e, p, ErrTruncated
 	}
-	e.Key = hashkey.Key(key)
-	var alen uint16
-	if err := binary.Read(r, binary.BigEndian, &alen); err != nil {
-		return e, ErrTruncated
+	e.Key = hashkey.Key(binary.BigEndian.Uint64(p))
+	alen := int(binary.BigEndian.Uint16(p[8:]))
+	p = p[10:]
+	if len(p) < alen+13 { // addr + capacity(8) + ttl(4) + flags(1)
+		return e, p, ErrTruncated
 	}
-	addr := make([]byte, alen)
-	if _, err := io.ReadFull(r, addr); err != nil {
-		return e, ErrTruncated
-	}
-	e.Addr = string(addr)
-	if err := binary.Read(r, binary.BigEndian, &e.Capacity); err != nil {
-		return e, ErrTruncated
-	}
-	if err := binary.Read(r, binary.BigEndian, &e.TTLMilli); err != nil {
-		return e, ErrTruncated
-	}
-	flags, err := r.ReadByte()
-	if err != nil {
-		return e, ErrTruncated
-	}
-	e.Mobile = flags&1 != 0
-	return e, nil
+	e.Addr = string(p[:alen])
+	p = p[alen:]
+	e.Capacity = math.Float64frombits(binary.BigEndian.Uint64(p))
+	e.TTLMilli = binary.BigEndian.Uint32(p[8:])
+	e.Mobile = p[12]&1 != 0
+	return e, p[13:], nil
 }
