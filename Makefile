@@ -1,0 +1,26 @@
+GO        ?= go
+BENCHTIME ?= 100x
+
+.PHONY: build test race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the address-resolution benchmarks (cold discovery vs the
+# lease-aware cache's hot/stale/cold-miss paths) and records the results
+# as BENCH_resolve.json. Override BENCHTIME (e.g. BENCHTIME=2s) for a
+# statistically meaningful local run; the 100x default is a CI smoke.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkResolve|^BenchmarkDiscover$$' \
+		-benchtime $(BENCHTIME) -benchmem ./internal/live | tee bench_resolve.txt
+	$(GO) run ./cmd/benchjson -in bench_resolve.txt -out BENCH_resolve.json
+	@rm -f bench_resolve.txt
+
+clean:
+	rm -f bench_resolve.txt BENCH_resolve.json

@@ -26,8 +26,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,12 +55,27 @@ func main() {
 	stats := flag.Duration("stats", 30*time.Second, "resilience counter log interval (0 = only at exit)")
 	opTimeout := flag.Duration("op-timeout", 30*time.Second, "deadline for each foreground protocol operation")
 	noPool := flag.Bool("no-pool", false, "disable the multiplexed connection pool (dial per request)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (enables mutex/block profiling)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "bristled: -name is required")
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		// Sampled lock profiles: cheap enough for a long-lived daemon and
+		// exactly what's needed to inspect contention on the resolve hot
+		// path (go tool pprof http://ADDR/debug/pprof/mutex or /block).
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(100)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "bristled: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	counters := metrics.NewCounters()
@@ -111,6 +131,7 @@ func main() {
 	})
 	defer stopMaint()
 
+	prevStats := counters.Snapshot()
 	var statsTick <-chan time.Time
 	if *stats > 0 {
 		t := time.NewTicker(*stats)
@@ -135,10 +156,14 @@ func main() {
 			fmt.Printf("\nshutting down; counters: %s gauges: %s\n", counters, gauges)
 			return
 		case <-statsTick:
+			// Per-interval deltas show what the node is doing right now;
+			// cumulative totals only ever grow and bury the signal.
+			delta := formatDelta(counters.Diff(prevStats))
+			prevStats = counters.Snapshot()
 			if suspects := node.Suspects(); len(suspects) > 0 {
-				fmt.Printf("stats: %s %s suspects=%v\n", counters, gauges, suspects)
+				fmt.Printf("stats: Δ %s | %s suspects=%v\n", delta, gauges, suspects)
 			} else {
-				fmt.Printf("stats: %s %s\n", counters, gauges)
+				fmt.Printf("stats: Δ %s | %s\n", delta, gauges)
 			}
 		case <-rebindTick:
 			if err := withDeadline(ctx, *opTimeout, func(ctx context.Context) error {
@@ -152,6 +177,26 @@ func main() {
 			fmt.Printf("update: %v is now at %s\n", up.Key, up.Addr)
 		}
 	}
+}
+
+// formatDelta renders an interval diff as sorted "name=+value" pairs.
+func formatDelta(d map[string]uint64) string {
+	if len(d) == 0 {
+		return "(quiet)"
+	}
+	names := make([]string, 0, len(d))
+	for k := range d {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=+%d", k, d[k])
+	}
+	return b.String()
 }
 
 // withDeadline runs op under parent plus a per-operation timeout.

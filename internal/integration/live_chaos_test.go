@@ -3,7 +3,9 @@ package integration
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -168,5 +170,126 @@ func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 	// every fault above was injected on long-lived pooled connections.
 	if counters.Get("pool.dials") == 0 {
 		t.Error("no pooled sessions dialed: chaos run did not exercise the pool")
+	}
+}
+
+// TestResolveCoalescesUnderChaos drives the cache-first resolve path —
+// singleflight discovery, lease write-through, negative caching — through
+// a lossy, delaying transport. A burst of concurrent resolvers for one
+// freshly published key must all converge on the right address while the
+// coalescing keeps the number of network discoveries far below the
+// number of callers, and the follow-up resolves must be answered from
+// the cached lease without any new discovery.
+func TestResolveCoalescesUnderChaos(t *testing.T) {
+	const seed = 4321
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	counters := metrics.NewCounters()
+	faulty := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{Seed: seed})
+
+	names := []string{"a1", "a2", "a3", "mob"}
+	nodes := make(map[string]*live.Node, len(names))
+	var all []*live.Node
+	for _, name := range names {
+		nd := live.NewNode(live.Config{
+			Name:           name,
+			Capacity:       4,
+			Mobile:         name == "mob",
+			Replication:    2,
+			LeaseTTL:       30 * time.Second,
+			RequestTimeout: 250 * time.Millisecond,
+			RetryAttempts:  5,
+			RetryBase:      5 * time.Millisecond,
+			RetryMax:       40 * time.Millisecond,
+			Counters:       counters,
+		}, faulty.Endpoint(name))
+		if err := nd.Start(""); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		nodes[name] = nd
+		all = append(all, nd)
+	}
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+	for _, nd := range all[1:] {
+		if err := nd.JoinViaContext(ctx, all[0].Addr()); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < 4; round++ {
+		for _, nd := range all {
+			if _, err := nd.GossipOnce(rng); err != nil {
+				t.Fatalf("gossip: %v", err)
+			}
+		}
+	}
+	mob := nodes["mob"]
+	if err := mob.PublishContext(ctx); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	faulty.SetConfig(transport.FaultConfig{
+		Seed:     seed,
+		Drop:     0.10,
+		DelayMax: 10 * time.Millisecond,
+		Counters: counters,
+	})
+
+	// Background traffic keeps the chaos non-vacuous: a single coalesced
+	// discovery alone exchanges too few frames to be guaranteed a drop.
+	for i := 0; i < 60; i++ {
+		_ = nodes["a2"].PingContext(ctx, nodes["a3"].Addr())
+	}
+
+	// Storm: 32 resolvers on one key through a node that has never seen
+	// it. Retries absorb the loss; the singleflight absorbs the fan-in.
+	resolver := nodes["a1"]
+	const stormers = 32
+	var wg sync.WaitGroup
+	errsCh := make(chan error, stormers)
+	for i := 0; i < stormers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			addr, err := resolver.ResolveContext(ctx, mob.Key())
+			if err != nil {
+				errsCh <- err
+				return
+			}
+			if addr != mob.Addr() {
+				errsCh <- fmt.Errorf("resolved %s, want %s", addr, mob.Addr())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		t.Errorf("storm resolve: %v", err)
+	}
+
+	discoveries := counters.Get("resolve.discoveries")
+	if discoveries == 0 || discoveries > stormers/4 {
+		t.Errorf("resolve.discoveries = %d for %d concurrent resolvers; want coalesced to a handful", discoveries, stormers)
+	}
+
+	// Steady state: the lease answers locally; no new discovery happens.
+	for i := 0; i < 20; i++ {
+		addr, err := resolver.ResolveContext(ctx, mob.Key())
+		if err != nil || addr != mob.Addr() {
+			t.Fatalf("cached resolve %d: %q %v", i, addr, err)
+		}
+	}
+	if after := counters.Get("resolve.discoveries"); after != discoveries {
+		t.Errorf("steady-state resolves issued %d extra discoveries", after-discoveries)
+	}
+	if counters.Get("loccache.hit") < 20 {
+		t.Errorf("loccache.hit = %d, want at least the 20 steady-state resolves", counters.Get("loccache.hit"))
+	}
+	if counters.Get("fault.drop") == 0 {
+		t.Error("chaos vacuous: no frames dropped")
 	}
 }

@@ -1,13 +1,24 @@
 package live
 
-// Benchmarks contrasting the two RPC transports: a fresh dial per
+// Benchmarks for the live stack's two hot paths.
+//
+// BenchmarkRPC* contrast the two RPC transports: a fresh dial per
 // exchange (the pre-pool behaviour, kept as the saturation fallback)
 // versus multiplexing every exchange over one pooled connection.
 // Run with: go test -bench=BenchmarkRPC -benchmem ./internal/live
+//
+// BenchmarkDiscover and BenchmarkResolve* contrast address resolution
+// with and without the lease-aware location cache: Discover always pays
+// a network round trip; ResolveHot answers from a fresh lease,
+// ResolveStale serves optimistically while revalidating, ResolveColdMiss
+// pays the network plus the cache fill. `make bench` records these in
+// BENCH_resolve.json for cross-PR comparison.
 import (
 	"context"
 	"testing"
+	"time"
 
+	"bristle/internal/hashkey"
 	"bristle/internal/transport"
 	"bristle/internal/wire"
 )
@@ -92,4 +103,128 @@ func BenchmarkRPCPooledRaw(b *testing.B) {
 			}
 		}
 	})
+}
+
+// resolveBench starts a two-server ring with a published target record
+// and returns a warmed client plus the target's key and address.
+func resolveBench(b *testing.B) (*Node, hashkey.Key, string) {
+	b.Helper()
+	mem := transport.NewMem()
+	var servers []*Node
+	for _, name := range []string{"bench-a", "bench-b"} {
+		nd := NewNode(Config{Name: name, Capacity: 4, RetryAttempts: 1}, mem)
+		if err := nd.Start(""); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { nd.Close() })
+		servers = append(servers, nd)
+	}
+	client := NewNode(Config{Name: "bench-resolver", Capacity: 1, RetryAttempts: 1}, mem)
+	if err := client.Start(""); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { client.Close() })
+	for _, nd := range append(servers[1:], client) {
+		if err := nd.JoinVia(servers[0].Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	target := servers[0]
+	if err := target.Publish(); err != nil {
+		b.Fatal(err)
+	}
+	return client, target.Key(), target.Addr()
+}
+
+// BenchmarkDiscover is the cold baseline: every resolution is a network
+// _discovery round trip (forced late binding) — what every lookup cost
+// before the location cache existed.
+func BenchmarkDiscover(b *testing.B) {
+	client, key, _ := resolveBench(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.DiscoverContext(ctx, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveHot is the steady state the cache buys: a fresh lease
+// answers every resolve with one sharded map read — no network, no
+// shared protocol lock.
+func BenchmarkResolveHot(b *testing.B) {
+	client, key, _ := resolveBench(b)
+	ctx := context.Background()
+	if _, err := client.ResolveContext(ctx, key); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ResolveContext(ctx, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveHotParallel: the hot path under contention — many
+// goroutines resolving the same key concurrently.
+func BenchmarkResolveHotParallel(b *testing.B) {
+	client, key, _ := resolveBench(b)
+	ctx := context.Background()
+	if _, err := client.ResolveContext(ctx, key); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := client.ResolveContext(ctx, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkResolveStale measures stale-while-revalidate: the lease has
+// lapsed, so each resolve serves the stale address immediately and (at
+// most once at a time) launches a background refresh flight.
+func BenchmarkResolveStale(b *testing.B) {
+	client, key, addr := resolveBench(b)
+	ctx := context.Background()
+	client.loc.Put(key, addr, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := client.ResolveContext(ctx, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// A background refresh may freshen the entry mid-run; re-stale it
+		// outside the interesting path only when that happened.
+		if _, ok := client.CachedAddr(key); ok {
+			b.StopTimer()
+			client.loc.Put(key, got, time.Nanosecond)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkResolveColdMiss: the worst case with the cache on — every
+// iteration misses (the entry is invalidated each time) and pays the
+// singleflight + network + fill.
+func BenchmarkResolveColdMiss(b *testing.B) {
+	client, key, _ := resolveBench(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.loc.Invalidate(key)
+		if _, err := client.ResolveContext(ctx, key); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -19,6 +19,17 @@ type MaintainConfig struct {
 	// probed so they can be readmitted without waiting for live traffic to
 	// half-open them. Zero disables background probing.
 	ProbeInterval time.Duration
+	// RefreshInterval is the early-binding refresher period: each tick
+	// re-resolves the most-recently-used cached locations whose lease is
+	// about to lapse, so steady-state sends keep answering from fresh
+	// leases instead of blocking on reactive discovery. Zero disables it.
+	RefreshInterval time.Duration
+	// RefreshTopK bounds how many MRU cache entries one refresh tick may
+	// re-resolve. Default 32.
+	RefreshTopK int
+	// RefreshWindow is how far ahead of lease expiry an entry becomes
+	// eligible for refresh. Default 2×RefreshInterval.
+	RefreshWindow time.Duration
 	// Rand seeds gossip partner selection; nil uses a time-seeded source.
 	Rand *rand.Rand
 }
@@ -88,6 +99,30 @@ func (n *Node) StartMaintenance(cfg MaintainConfig) (stop func()) {
 					return
 				case <-t.C:
 					n.ProbeSuspects()
+				}
+			}
+		}()
+	}
+	if cfg.RefreshInterval > 0 && n.loc != nil {
+		topK := cfg.RefreshTopK
+		if topK <= 0 {
+			topK = 32
+		}
+		window := cfg.RefreshWindow
+		if window <= 0 {
+			window = 2 * cfg.RefreshInterval
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.RefreshInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					n.refreshExpiring(topK, window)
 				}
 			}
 		}()

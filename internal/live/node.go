@@ -23,13 +23,16 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bristle/internal/hashkey"
 	"bristle/internal/ldt"
+	"bristle/internal/loccache"
 	"bristle/internal/metrics"
 	"bristle/internal/transport"
 	"bristle/internal/wire"
@@ -86,6 +89,10 @@ type Config struct {
 	// layer. The zero value enables pooling with defaults; set
 	// Pool.Disabled to revert to dial-per-request exchanges.
 	Pool PoolConfig
+	// Cache tunes the lease-aware sharded location cache behind Resolve
+	// (resolve.go). The zero value enables the cache with defaults; set
+	// Cache.Disabled to make every resolve a network discovery.
+	Cache CacheConfig
 	// Counters optionally records resilience events (rpc.retries,
 	// rpc.timeouts, breaker.trips, pool.dials, ...); nil disables them.
 	Counters *metrics.Counters
@@ -127,6 +134,8 @@ func (cfg Config) withDefaults() Config {
 		cfg.SuspicionCooldown = 2 * time.Second
 	}
 	cfg.Pool = cfg.Pool.withDefaults()
+	// Cache defaults live in loccache.Config.withDefaults; zero values
+	// pass through so one place owns them.
 	return cfg
 }
 
@@ -206,11 +215,25 @@ type Node struct {
 	listener *listenerState
 	addr     string
 	peers    map[hashkey.Key]wire.Entry // known membership (incl. self)
-	store    map[hashkey.Key]storedLoc  // location repository fragment
 	registry map[hashkey.Key]wire.Entry // R(self): interested nodes
-	cache    map[hashkey.Key]storedLoc  // learned locations of others
 	seq      uint32
 	stopped  bool
+
+	// store is the location *repository* fragment this node holds as an
+	// owner/replica of other nodes' keys: written only by TPublish (their
+	// publications), read only to answer TDiscover. It is the thing the
+	// network asks this node about.
+	store map[hashkey.Key]storedLoc
+
+	// loc is the opposite direction: locations this node has *learned*
+	// about others — TUpdate pushes (early binding) and discover answers
+	// (late binding) write through it; ResolveContext reads it. It is
+	// never served to the network, and it is deliberately outside mu so
+	// the resolve hot path shares no lock with the protocol path. Nil
+	// when Cache.Disabled.
+	loc     *loccache.Cache
+	flights loccache.Group // coalesces concurrent discoveries per key
+	closed  atomic.Bool    // set by Close; gates background refreshes
 
 	bmu      sync.Mutex          // guards breakers, independent of mu
 	breakers map[string]*breaker // per-peer suspicion circuit breakers
@@ -234,13 +257,22 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 		peers:    make(map[hashkey.Key]wire.Entry),
 		store:    make(map[hashkey.Key]storedLoc),
 		registry: make(map[hashkey.Key]wire.Entry),
-		cache:    make(map[hashkey.Key]storedLoc),
 		breakers: make(map[string]*breaker),
 		rng:      rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
 		updates:  make(chan Update, 64),
 	}
 	if !cfg.Pool.Disabled {
 		n.pool = newPool(tr, cfg.Pool, cfg.Counters, cfg.Gauges)
+	}
+	if !cfg.Cache.Disabled {
+		n.loc = loccache.New(loccache.Config{
+			Shards:      cfg.Cache.Shards,
+			MaxEntries:  cfg.Cache.MaxEntries,
+			NegativeTTL: cfg.Cache.NegativeTTL,
+			StaleWindow: cfg.Cache.StaleWindow,
+			Counters:    cfg.Counters,
+			Gauges:      cfg.Gauges,
+		})
 	}
 	return n
 }
@@ -294,6 +326,7 @@ func (n *Node) Close() error {
 	n.stopped = true
 	ls := n.listener
 	n.mu.Unlock()
+	n.closed.Store(true) // stop launching background refreshes
 	if n.pool != nil {
 		n.pool.Close()
 	}
@@ -442,6 +475,15 @@ func (n *Node) handlePublish(m *wire.Message) {
 	n.logf("stored location of %v → %s", m.Self.Key, m.Self.Addr)
 }
 
+// handleDiscover answers a _discovery from this node's repository
+// fragment (store) only. Serving an answer deliberately does NOT write
+// the node's own location cache: the server merely relayed a record it
+// owns — it expressed no interest in the key, and polluting its cache
+// here would let third-party queries evict its own working set.
+//
+// The response carries the record's remaining lease, so the querier's
+// cache entry expires exactly when the repository record does — without
+// it, late-binding results would never go stale client-side.
 func (n *Node) handleDiscover(m *wire.Message) *wire.Message {
 	n.mu.Lock()
 	rec, ok := n.store[m.Key]
@@ -449,19 +491,41 @@ func (n *Node) handleDiscover(m *wire.Message) *wire.Message {
 	resp := &wire.Message{Type: wire.TDiscoverResp, Seq: m.Seq, Key: m.Key}
 	if ok && rec.valid(time.Now()) {
 		resp.Found = true
-		resp.Self = wire.Entry{Key: m.Key, Addr: rec.addr}
+		resp.Self = wire.Entry{Key: m.Key, Addr: rec.addr, TTLMilli: remainingTTLMilli(rec)}
 	}
 	return resp
 }
 
+// remainingTTLMilli converts a stored record's remaining lease into the
+// wire's millisecond form: 0 means "no lease", so a live-but-nearly-done
+// lease clamps up to 1ms rather than becoming immortal, and durations
+// beyond the uint32 range saturate.
+func remainingTTLMilli(rec storedLoc) uint32 {
+	if !rec.hasTTL {
+		return 0
+	}
+	ms := time.Until(rec.expires) / time.Millisecond
+	switch {
+	case ms < 1:
+		return 1
+	case ms > math.MaxUint32:
+		return math.MaxUint32
+	}
+	return uint32(ms)
+}
+
+// handleUpdate ingests a proactive location push (early binding). The
+// subject's new address belongs in the location *cache* — this node
+// registered interest and learned where the subject moved — not in the
+// repository (store): the pushing node is not publishing to us as an
+// owner, and serving this hearsay to _discovery queries would bypass the
+// replica placement. The write-through shares one source of truth with
+// late-binding discover results.
 func (n *Node) handleUpdate(m *wire.Message) {
-	rec := storedLoc{addr: m.Self.Addr}
-	if m.Self.TTLMilli > 0 {
-		rec.hasTTL = true
-		rec.expires = time.Now().Add(time.Duration(m.Self.TTLMilli) * time.Millisecond)
+	if n.loc != nil {
+		n.loc.Put(m.Self.Key, m.Self.Addr, time.Duration(m.Self.TTLMilli)*time.Millisecond)
 	}
 	n.mu.Lock()
-	n.cache[m.Self.Key] = rec
 	if p, ok := n.peers[m.Self.Key]; ok {
 		p.Addr = m.Self.Addr
 		n.peers[m.Self.Key] = p
@@ -682,47 +746,8 @@ func (n *Node) PublishContext(ctx context.Context) error {
 	return nil
 }
 
-// Discover calls DiscoverContext with the background context.
-func (n *Node) Discover(key hashkey.Key) (string, error) {
-	return n.DiscoverContext(context.Background(), key)
-}
-
-// DiscoverContext resolves key's current address through the location
-// layer, falling over across the record's replicas (§2.3.2) in
-// suspicion-aware order. The replicas are tried sequentially on purpose:
-// the common case is answered by the first healthy replica for the cost
-// of one exchange, and the ordering (healthy first) already bounds the
-// tail.
-func (n *Node) DiscoverContext(ctx context.Context, key hashkey.Key) (string, error) {
-	owners, err := n.ownersOf(key, n.cfg.Replication)
-	if err != nil {
-		return "", err
-	}
-	var lastErr error = ErrNotFound
-	for _, owner := range owners {
-		var resp *wire.Message
-		if owner.Key == n.key {
-			resp = n.handleDiscover(&wire.Message{Type: wire.TDiscover, Key: key})
-		} else {
-			resp, err = n.request(ctx, owner.Addr, &wire.Message{Type: wire.TDiscover, Key: key})
-			if err != nil {
-				lastErr = fmt.Errorf("live: discover via %s: %w", owner.Addr, err)
-				continue
-			}
-		}
-		if resp.Type != wire.TDiscoverResp || !resp.Found {
-			continue
-		}
-		n.mu.Lock()
-		n.cache[key] = storedLoc{addr: resp.Self.Addr}
-		n.mu.Unlock()
-		return resp.Self.Addr, nil
-	}
-	if lastErr != ErrNotFound {
-		return "", lastErr
-	}
-	return "", ErrNotFound
-}
+// (Discover, DiscoverContext, Resolve, and ResolveContext live in
+// resolve.go: cache-first resolution with singleflight discovery.)
 
 // RegisterWith calls RegisterWithContext with the background context.
 func (n *Node) RegisterWith(targetAddr string) error {
@@ -888,15 +913,27 @@ func collectSubtree(root *ldt.Node, index map[int32]wire.Entry) []wire.Entry {
 	return out
 }
 
-// CachedAddr returns this node's cached address for key, if fresh.
+// CachedAddr returns this node's cached address for key, if its lease is
+// still fresh. A read-only probe: it neither promotes the entry nor
+// records cache metrics.
 func (n *Node) CachedAddr(key hashkey.Key) (string, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	rec, ok := n.cache[key]
-	if !ok || !rec.valid(time.Now()) {
+	if n.loc == nil {
 		return "", false
 	}
-	return rec.addr, true
+	addr, state := n.loc.Peek(key)
+	if state != loccache.Fresh {
+		return "", false
+	}
+	return addr, true
+}
+
+// CacheEntries reports how many entries the location cache currently
+// holds (0 when the cache is disabled).
+func (n *Node) CacheEntries() int {
+	if n.loc == nil {
+		return 0
+	}
+	return n.loc.Len()
 }
 
 // Ping calls PingContext with the background context.

@@ -1,0 +1,222 @@
+package live
+
+// This file is the address-resolution hot path. The paper gives a mobile
+// node two ways to be found: early binding (it pushes <key, addr> to
+// registered correspondents through its dissemination tree) and late
+// binding (a correspondent asks the location repository via _discovery,
+// Figure 2). Both feed the same lease-aware sharded cache
+// (internal/loccache), and ResolveContext reads it first:
+//
+//   Fresh    → answer from the lease; no lock shared with the protocol
+//              path, no network.
+//   Stale    → answer optimistically and re-resolve in the background
+//              (stale-while-revalidate); steady-state senders never
+//              block on discovery.
+//   Negative → a recent _discovery already proved the record absent;
+//              fail fast with ErrNotFound instead of re-polling every
+//              replica.
+//   Miss     → go to the network, but through a singleflight group:
+//              concurrent misses for one key share a single _discovery
+//              RPC (counted as loccache.coalesced).
+//
+// DiscoverContext remains the always-network form (late binding forced);
+// it now write-throughs its answer — with the replica's remaining lease —
+// into the same cache, so reactive results expire client-side exactly
+// like pushed ones.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/loccache"
+	"bristle/internal/wire"
+)
+
+// CacheConfig tunes the node's location cache (the resolve hot path).
+// The zero value enables the cache with defaults; set Disabled to make
+// every Resolve a network discovery.
+type CacheConfig struct {
+	// Disabled turns the cache off entirely.
+	Disabled bool
+	// Shards is the number of independently locked cache segments
+	// (rounded up to a power of two). Default 16.
+	Shards int
+	// MaxEntries bounds the cache across all shards. Default 4096.
+	MaxEntries int
+	// NegativeTTL is how long a "no record" discovery answer suppresses
+	// repeat lookups for the same key. Default 1s.
+	NegativeTTL time.Duration
+	// StaleWindow is how long past its lease an entry may still be served
+	// while a background refresh runs. Default 30s.
+	StaleWindow time.Duration
+}
+
+// Resolve calls ResolveContext with the background context.
+func (n *Node) Resolve(key hashkey.Key) (string, error) {
+	return n.ResolveContext(context.Background(), key)
+}
+
+// ResolveContext resolves key's current address, cache first. A fresh
+// lease answers immediately; a stale one answers while a background
+// refresh re-resolves; a cache miss goes to the network through a
+// singleflight group so N concurrent misses cost one _discovery. The
+// context bounds only this caller's wait — an in-flight discovery keeps
+// running for its other waiters.
+func (n *Node) ResolveContext(ctx context.Context, key hashkey.Key) (string, error) {
+	if n.loc == nil {
+		return n.DiscoverContext(ctx, key)
+	}
+	addr, state := n.loc.Lookup(key)
+	switch state {
+	case loccache.Fresh:
+		return addr, nil
+	case loccache.Negative:
+		return "", ErrNotFound
+	case loccache.Stale:
+		n.launchRefresh(key)
+		return addr, nil
+	}
+	addr, shared, err := n.flights.Do(ctx, key, func() (string, error) {
+		return n.flightDiscover(key, false)
+	})
+	if shared {
+		n.count("loccache.coalesced")
+	}
+	return addr, err
+}
+
+// flightDiscover is the body of one singleflight discovery: a detached
+// context (bounded by the node's retry budget, not any one waiter's
+// deadline) so the flight outlives impatient waiters, then one network
+// resolution written through the cache.
+//
+// A demand-miss flight (revalidate=false) double-checks the cache first:
+// a caller can miss, lose its timeslice, and only start its flight after
+// a concurrent flight for the same key already completed — the re-lookup
+// turns that duplicate into a cache answer instead of a second
+// _discovery. Refresh flights (revalidate=true) exist precisely to
+// replace a still-cached entry, so they always go to the network.
+func (n *Node) flightDiscover(key hashkey.Key, revalidate bool) (string, error) {
+	if !revalidate {
+		switch addr, state := n.loc.Lookup(key); state {
+		case loccache.Fresh:
+			return addr, nil
+		case loccache.Negative:
+			return "", ErrNotFound
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RetryBudget)
+	defer cancel()
+	return n.discoverAndFill(ctx, key)
+}
+
+// discoverAndFill performs one network discovery and records the outcome
+// in the cache: a found address under its remaining lease, a definitive
+// miss as a negative entry. Transport failures cache nothing — absence
+// of evidence is not evidence of absence.
+func (n *Node) discoverAndFill(ctx context.Context, key hashkey.Key) (string, error) {
+	n.count("resolve.discoveries")
+	addr, ttl, err := n.discoverNetwork(ctx, key)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		n.loc.PutNegative(key)
+		return "", err
+	case err != nil:
+		return "", err
+	}
+	n.loc.Put(key, addr, ttl)
+	return addr, nil
+}
+
+// launchRefresh starts a background re-resolution of key unless one is
+// already in flight (or the node is closing). Reports whether a flight
+// was started.
+func (n *Node) launchRefresh(key hashkey.Key) bool {
+	if n.closed.Load() {
+		return false
+	}
+	started := n.flights.Launch(key, func() (string, error) {
+		return n.flightDiscover(key, true)
+	})
+	if started {
+		n.count("loccache.refreshes")
+	}
+	return started
+}
+
+// refreshExpiring re-resolves up to topK most-recently-used cached
+// entries whose lease lapses within window — the early-binding refresher
+// step: renew the working set's bindings before they expire so the hot
+// path keeps answering from fresh leases. Returns how many refresh
+// flights were started.
+func (n *Node) refreshExpiring(topK int, window time.Duration) int {
+	if n.loc == nil {
+		return 0
+	}
+	started := 0
+	for _, cand := range n.loc.ExpiringSoon(topK, window) {
+		if n.launchRefresh(cand.Key) {
+			started++
+		}
+	}
+	return started
+}
+
+// Discover calls DiscoverContext with the background context.
+func (n *Node) Discover(key hashkey.Key) (string, error) {
+	return n.DiscoverContext(context.Background(), key)
+}
+
+// DiscoverContext resolves key's current address through the location
+// layer, always over the network (forced late binding). The answer —
+// including the replica's remaining lease — is written through the
+// location cache, so a subsequent ResolveContext answers locally until
+// the lease lapses. Prefer ResolveContext on hot paths.
+func (n *Node) DiscoverContext(ctx context.Context, key hashkey.Key) (string, error) {
+	addr, ttl, err := n.discoverNetwork(ctx, key)
+	if err != nil {
+		return "", err
+	}
+	if n.loc != nil {
+		n.loc.Put(key, addr, ttl)
+	}
+	return addr, nil
+}
+
+// discoverNetwork asks the record's replicas for key's address, falling
+// over across them (§2.3.2) in suspicion-aware order. The replicas are
+// tried sequentially on purpose: the common case is answered by the
+// first healthy replica for the cost of one exchange, and the ordering
+// (healthy first) already bounds the tail. Returns the address and the
+// remaining lease the serving replica reported (0 = no lease).
+func (n *Node) discoverNetwork(ctx context.Context, key hashkey.Key) (string, time.Duration, error) {
+	owners, err := n.ownersOf(key, n.cfg.Replication)
+	if err != nil {
+		return "", 0, err
+	}
+	var lastErr error = ErrNotFound
+	for _, owner := range owners {
+		var resp *wire.Message
+		if owner.Key == n.key {
+			resp = n.handleDiscover(&wire.Message{Type: wire.TDiscover, Key: key})
+		} else {
+			resp, err = n.request(ctx, owner.Addr, &wire.Message{Type: wire.TDiscover, Key: key})
+			if err != nil {
+				lastErr = fmt.Errorf("live: discover via %s: %w", owner.Addr, err)
+				continue
+			}
+		}
+		if resp.Type != wire.TDiscoverResp || !resp.Found {
+			continue
+		}
+		ttl := time.Duration(resp.Self.TTLMilli) * time.Millisecond
+		return resp.Self.Addr, ttl, nil
+	}
+	if lastErr != ErrNotFound {
+		return "", 0, lastErr
+	}
+	return "", 0, ErrNotFound
+}

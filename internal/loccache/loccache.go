@@ -1,0 +1,390 @@
+// Package loccache is the lease-aware location cache behind the live
+// stack's resolve hot path. It holds the <key, addr> state-pairs a node
+// has *learned* about other nodes — pushed through dissemination trees
+// (early binding) or fetched reactively via _discovery (late binding,
+// Figure 2) — and classifies every lookup into the states the binding
+// machinery acts on:
+//
+//   - Fresh:    a live lease; serve it without touching the network.
+//   - Stale:    the lease lapsed recently (within StaleWindow); serve it
+//               anyway while a background refresh re-resolves the key
+//               (stale-while-revalidate — the paper's late binding with
+//               the latency hidden).
+//   - Negative: a recent _discovery answered "no record"; fail fast
+//               instead of re-asking every replica for NegativeTTL.
+//   - Miss:     nothing usable; the caller must go to the network.
+//
+// The cache is sharded by key so concurrent resolves contend only on a
+// 1/Shards slice of the keyspace, never on the node's protocol mutex.
+// Each shard is bounded and evicts expired entries before live ones
+// (LRU-of-expired-first): under pressure the cache sheds dead weight and
+// keeps leases that still save round-trips.
+package loccache
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/metrics"
+)
+
+// State classifies a lookup result.
+type State int
+
+const (
+	// Miss: no usable entry; resolve over the network.
+	Miss State = iota
+	// Fresh: the lease is live; the address is authoritative enough to use.
+	Fresh
+	// Stale: the lease lapsed within StaleWindow; usable optimistically
+	// while a refresh runs.
+	Stale
+	// Negative: a recent discovery proved the record absent; fail fast.
+	Negative
+)
+
+func (s State) String() string {
+	switch s {
+	case Fresh:
+		return "fresh"
+	case Stale:
+		return "stale"
+	case Negative:
+		return "negative"
+	default:
+		return "miss"
+	}
+}
+
+// Config tunes a Cache. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// Shards is the number of independently locked segments; rounded up
+	// to a power of two. Default 16.
+	Shards int
+	// MaxEntries bounds the whole cache (spread evenly across shards).
+	// Default 4096.
+	MaxEntries int
+	// NegativeTTL is how long a "no record" answer is trusted. Default 1s.
+	NegativeTTL time.Duration
+	// StaleWindow is how long past its lease an entry may still be served
+	// as Stale; beyond it the entry reads as a Miss. Default 30s.
+	StaleWindow time.Duration
+	// Clock overrides time.Now, for tests. Nil uses time.Now.
+	Clock func() time.Time
+	// Counters receives loccache.hit/miss/stale/negative/evicted events;
+	// nil disables them.
+	Counters *metrics.Counters
+	// Gauges exposes loccache.entries; nil disables it.
+	Gauges *metrics.Gauges
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	// Round up to a power of two so the shard index is a mask, not a mod.
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	cfg.Shards = n
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	if cfg.NegativeTTL <= 0 {
+		cfg.NegativeTTL = time.Second
+	}
+	if cfg.StaleWindow <= 0 {
+		cfg.StaleWindow = 30 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return cfg
+}
+
+// entry is one cached state-pair. lastUsed orders the early-binding
+// refresher's MRU ranking; elem is the entry's position in its shard's
+// LRU list (front = most recent).
+type entry struct {
+	key      hashkey.Key
+	addr     string
+	expires  time.Time
+	hasTTL   bool
+	negative bool
+	lastUsed time.Time
+	elem     *list.Element
+}
+
+// state classifies e at instant now under the given stale window.
+func (e *entry) state(now time.Time, staleWindow time.Duration) State {
+	if e.negative {
+		if now.Before(e.expires) {
+			return Negative
+		}
+		return Miss
+	}
+	if !e.hasTTL || now.Before(e.expires) {
+		return Fresh
+	}
+	if now.Before(e.expires.Add(staleWindow)) {
+		return Stale
+	}
+	return Miss
+}
+
+// expired reports whether e's lease (or negative TTL) has lapsed — the
+// eviction preference, independent of the stale window.
+func (e *entry) expired(now time.Time) bool {
+	return (e.hasTTL || e.negative) && !now.Before(e.expires)
+}
+
+type shard struct {
+	mu  sync.Mutex
+	m   map[hashkey.Key]*entry
+	lru *list.List // of *entry; front = most recently used
+}
+
+// Cache is a sharded, bounded, lease-aware location cache. All methods
+// are safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	mask     uint64
+	perShard int
+	shards   []shard
+}
+
+// New builds a Cache from cfg (zero-value fields take defaults).
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	per := cfg.MaxEntries / cfg.Shards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{
+		cfg:      cfg,
+		mask:     uint64(cfg.Shards - 1),
+		perShard: per,
+		shards:   make([]shard, cfg.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[hashkey.Key]*entry)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// shardOf picks the shard for key. Keys come from SHA-1 (hashkey), so
+// the low bits are already uniformly distributed.
+func (c *Cache) shardOf(key hashkey.Key) *shard {
+	return &c.shards[uint64(key)&c.mask]
+}
+
+func (c *Cache) count(name string) { c.cfg.Counters.Inc(name) }
+
+// Lookup classifies key and returns its cached address (empty unless
+// Fresh or Stale). A usable hit is promoted to the shard's MRU position
+// and counted (loccache.hit/stale/negative/miss).
+func (c *Cache) Lookup(key hashkey.Key) (string, State) {
+	now := c.cfg.Clock()
+	s := c.shardOf(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.count("loccache.miss")
+		return "", Miss
+	}
+	st := e.state(now, c.cfg.StaleWindow)
+	var addr string
+	switch st {
+	case Fresh, Stale:
+		addr = e.addr
+		e.lastUsed = now
+		s.lru.MoveToFront(e.elem)
+	case Miss:
+		// Too stale (or a lapsed negative) to be worth keeping.
+		s.removeLocked(e)
+		c.cfg.Gauges.Add("loccache.entries", -1)
+	}
+	s.mu.Unlock()
+	switch st {
+	case Fresh:
+		c.count("loccache.hit")
+	case Stale:
+		c.count("loccache.stale")
+	case Negative:
+		c.count("loccache.negative")
+	case Miss:
+		c.count("loccache.miss")
+	}
+	return addr, st
+}
+
+// Peek classifies key without promoting it or recording metrics — a
+// read-only probe for introspection (CachedAddr, tests).
+func (c *Cache) Peek(key hashkey.Key) (string, State) {
+	now := c.cfg.Clock()
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return "", Miss
+	}
+	st := e.state(now, c.cfg.StaleWindow)
+	if st == Fresh || st == Stale {
+		return e.addr, st
+	}
+	return "", st
+}
+
+// Put stores addr for key under a lease of ttl (0 = no expiry), replacing
+// any previous entry — positive or negative — and promoting it to MRU.
+func (c *Cache) Put(key hashkey.Key, addr string, ttl time.Duration) {
+	now := c.cfg.Clock()
+	e := &entry{key: key, addr: addr, lastUsed: now}
+	if ttl > 0 {
+		e.hasTTL = true
+		e.expires = now.Add(ttl)
+	}
+	c.insert(e)
+}
+
+// PutNegative records that key currently has no location record, so
+// resolves fail fast for NegativeTTL instead of re-asking the replicas.
+func (c *Cache) PutNegative(key hashkey.Key) {
+	now := c.cfg.Clock()
+	c.insert(&entry{
+		key:      key,
+		negative: true,
+		hasTTL:   true,
+		expires:  now.Add(c.cfg.NegativeTTL),
+		lastUsed: now,
+	})
+}
+
+func (c *Cache) insert(e *entry) {
+	s := c.shardOf(e.key)
+	now := e.lastUsed
+	s.mu.Lock()
+	if old, ok := s.m[e.key]; ok {
+		s.removeLocked(old)
+		c.cfg.Gauges.Add("loccache.entries", -1)
+	}
+	if len(s.m) >= c.perShard {
+		s.evictLocked(now)
+		c.count("loccache.evicted")
+		c.cfg.Gauges.Add("loccache.entries", -1)
+	}
+	s.m[e.key] = e
+	e.elem = s.lru.PushFront(e)
+	s.mu.Unlock()
+	c.cfg.Gauges.Add("loccache.entries", 1)
+}
+
+// evictScan bounds how far from the LRU tail eviction searches for an
+// expired victim before settling for plain LRU — keeps insert O(1).
+const evictScan = 16
+
+// evictLocked drops one entry: the least-recently-used *expired* entry
+// within evictScan of the tail if any, else the LRU tail itself.
+func (s *shard) evictLocked(now time.Time) {
+	victim := s.lru.Back()
+	scanned := 0
+	for el := s.lru.Back(); el != nil && scanned < evictScan; el = el.Prev() {
+		if el.Value.(*entry).expired(now) {
+			victim = el
+			break
+		}
+		scanned++
+	}
+	if victim != nil {
+		s.removeLocked(victim.Value.(*entry))
+	}
+}
+
+func (s *shard) removeLocked(e *entry) {
+	delete(s.m, e.key)
+	s.lru.Remove(e.elem)
+}
+
+// Invalidate drops key's entry, if any.
+func (c *Cache) Invalidate(key hashkey.Key) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if ok {
+		s.removeLocked(e)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.cfg.Gauges.Add("loccache.entries", -1)
+	}
+}
+
+// Len reports the total number of entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Candidate is one entry the early-binding refresher should re-resolve.
+type Candidate struct {
+	Key     hashkey.Key
+	Addr    string
+	Expires time.Time
+}
+
+// ExpiringSoon returns up to k positive, leased entries whose lease
+// lapses within window (including already-stale ones a refresh would
+// revive), most-recently-used first — the working set worth re-binding
+// early so steady-state sends never block on discovery.
+func (c *Cache) ExpiringSoon(k int, window time.Duration) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	now := c.cfg.Clock()
+	horizon := now.Add(window)
+	type ranked struct {
+		cand Candidate
+		used time.Time
+	}
+	var all []ranked
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.m {
+			if e.negative || !e.hasTTL || e.expires.After(horizon) {
+				continue
+			}
+			if e.state(now, c.cfg.StaleWindow) == Miss {
+				continue // too far gone; demand traffic can revive it
+			}
+			all = append(all, ranked{
+				cand: Candidate{Key: e.key, Addr: e.addr, Expires: e.expires},
+				used: e.lastUsed,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].used.After(all[j].used) })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]Candidate, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].cand
+	}
+	return out
+}

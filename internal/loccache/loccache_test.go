@@ -1,0 +1,243 @@
+package loccache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/metrics"
+)
+
+// fakeClock is a settable clock for deterministic lease tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (fc *fakeClock) now() time.Time {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.t
+}
+
+func (fc *fakeClock) advance(d time.Duration) {
+	fc.mu.Lock()
+	fc.t = fc.t.Add(d)
+	fc.mu.Unlock()
+}
+
+func TestLookupStates(t *testing.T) {
+	fc := newFakeClock()
+	ctrs := metrics.NewCounters()
+	c := New(Config{NegativeTTL: time.Second, StaleWindow: 5 * time.Second, Clock: fc.now, Counters: ctrs})
+	k := hashkey.FromName("a")
+
+	if _, st := c.Lookup(k); st != Miss {
+		t.Fatalf("empty cache: state %v, want Miss", st)
+	}
+
+	c.Put(k, "addr1", 2*time.Second)
+	if addr, st := c.Lookup(k); st != Fresh || addr != "addr1" {
+		t.Fatalf("fresh lookup: %q %v", addr, st)
+	}
+
+	fc.advance(3 * time.Second) // lease lapsed, within stale window
+	if addr, st := c.Lookup(k); st != Stale || addr != "addr1" {
+		t.Fatalf("stale lookup: %q %v", addr, st)
+	}
+
+	fc.advance(10 * time.Second) // beyond stale window
+	if _, st := c.Lookup(k); st != Miss {
+		t.Fatalf("dead lookup: state %v, want Miss", st)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("dead entry not dropped: len %d", c.Len())
+	}
+
+	c.PutNegative(k)
+	if _, st := c.Lookup(k); st != Negative {
+		t.Fatalf("negative lookup: state %v, want Negative", st)
+	}
+	fc.advance(2 * time.Second) // negative TTL lapsed
+	if _, st := c.Lookup(k); st != Miss {
+		t.Fatalf("lapsed negative: state %v, want Miss", st)
+	}
+
+	for _, want := range []struct {
+		name string
+		n    uint64
+	}{{"loccache.hit", 1}, {"loccache.stale", 1}, {"loccache.negative", 1}, {"loccache.miss", 3}} {
+		if got := ctrs.Get(want.name); got != want.n {
+			t.Errorf("%s = %d, want %d", want.name, got, want.n)
+		}
+	}
+}
+
+func TestNoTTLNeverExpires(t *testing.T) {
+	fc := newFakeClock()
+	c := New(Config{Clock: fc.now})
+	k := hashkey.FromName("forever")
+	c.Put(k, "addr", 0)
+	fc.advance(1000 * time.Hour)
+	if addr, st := c.Lookup(k); st != Fresh || addr != "addr" {
+		t.Fatalf("no-TTL entry: %q %v, want Fresh", addr, st)
+	}
+}
+
+func TestPutReplacesNegative(t *testing.T) {
+	fc := newFakeClock()
+	c := New(Config{Clock: fc.now})
+	k := hashkey.FromName("b")
+	c.PutNegative(k)
+	c.Put(k, "found", time.Minute)
+	if addr, st := c.Lookup(k); st != Fresh || addr != "found" {
+		t.Fatalf("positive put did not replace negative: %q %v", addr, st)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1", c.Len())
+	}
+}
+
+func TestEvictionPrefersExpired(t *testing.T) {
+	fc := newFakeClock()
+	ctrs := metrics.NewCounters()
+	// Single shard, capacity 4, so eviction order is fully observable.
+	c := New(Config{Shards: 1, MaxEntries: 4, StaleWindow: time.Hour, Clock: fc.now, Counters: ctrs})
+
+	expired := hashkey.FromName("expired")
+	c.Put(expired, "old", time.Second)
+	var live []hashkey.Key
+	for i := 0; i < 3; i++ {
+		k := hashkey.FromName(fmt.Sprintf("live%d", i))
+		live = append(live, k)
+		c.Put(k, "addr", time.Hour)
+	}
+	fc.advance(2 * time.Second) // only "expired" has lapsed
+
+	// Touch the expired entry so plain LRU would evict a live one instead.
+	if _, st := c.Lookup(expired); st != Stale {
+		t.Fatalf("setup: expected stale, got %v", st)
+	}
+
+	over := hashkey.FromName("overflow")
+	c.Put(over, "new", time.Hour)
+
+	if _, st := c.Peek(expired); st != Miss {
+		t.Fatalf("expired entry survived eviction: %v", st)
+	}
+	for _, k := range live {
+		if _, st := c.Peek(k); st != Fresh {
+			t.Fatalf("live entry %v evicted: %v", k, st)
+		}
+	}
+	if _, st := c.Peek(over); st != Fresh {
+		t.Fatalf("inserted entry missing: %v", st)
+	}
+	if got := ctrs.Get("loccache.evicted"); got != 1 {
+		t.Fatalf("loccache.evicted = %d, want 1", got)
+	}
+}
+
+func TestEvictionFallsBackToLRU(t *testing.T) {
+	fc := newFakeClock()
+	c := New(Config{Shards: 1, MaxEntries: 3, Clock: fc.now})
+	keys := []hashkey.Key{hashkey.FromName("k0"), hashkey.FromName("k1"), hashkey.FromName("k2")}
+	for _, k := range keys {
+		c.Put(k, "addr", time.Hour)
+	}
+	// Touch k0 so k1 becomes the LRU tail.
+	c.Lookup(keys[0])
+	c.Put(hashkey.FromName("k3"), "addr", time.Hour)
+	if _, st := c.Peek(keys[1]); st != Miss {
+		t.Fatalf("LRU tail k1 not evicted: %v", st)
+	}
+	if _, st := c.Peek(keys[0]); st != Fresh {
+		t.Fatalf("recently used k0 evicted: %v", st)
+	}
+}
+
+func TestEntriesGauge(t *testing.T) {
+	g := metrics.NewGauges()
+	c := New(Config{Gauges: g})
+	a, b := hashkey.FromName("a"), hashkey.FromName("b")
+	c.Put(a, "x", 0)
+	c.Put(b, "y", 0)
+	c.Put(a, "z", 0) // replace, not grow
+	if got := g.Get("loccache.entries"); got != 2 {
+		t.Fatalf("entries gauge %d, want 2", got)
+	}
+	c.Invalidate(a)
+	if got := g.Get("loccache.entries"); got != 1 {
+		t.Fatalf("entries gauge after invalidate %d, want 1", got)
+	}
+}
+
+func TestExpiringSoonMRUOrder(t *testing.T) {
+	fc := newFakeClock()
+	c := New(Config{StaleWindow: time.Hour, Clock: fc.now})
+	cold := hashkey.FromName("cold")
+	hot := hashkey.FromName("hot")
+	far := hashkey.FromName("far")
+	neg := hashkey.FromName("neg")
+	c.Put(cold, "c", time.Minute)
+	fc.advance(time.Second)
+	c.Put(hot, "h", time.Minute)
+	c.Put(far, "f", time.Hour) // outside the window
+	c.PutNegative(neg)         // never refreshed
+	fc.advance(time.Second)
+	c.Lookup(hot) // hot is most recently used
+
+	got := c.ExpiringSoon(10, 5*time.Minute)
+	if len(got) != 2 {
+		t.Fatalf("candidates %d, want 2 (hot, cold): %+v", len(got), got)
+	}
+	if got[0].Key != hot || got[1].Key != cold {
+		t.Fatalf("MRU order wrong: %+v", got)
+	}
+	if one := c.ExpiringSoon(1, 5*time.Minute); len(one) != 1 || one[0].Key != hot {
+		t.Fatalf("top-1 should be hot: %+v", one)
+	}
+}
+
+func TestConcurrentShardAccess(t *testing.T) {
+	c := New(Config{Shards: 16, MaxEntries: 256})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := hashkey.FromName(fmt.Sprintf("key-%d", i%64))
+				switch i % 4 {
+				case 0:
+					c.Put(k, "addr", time.Minute)
+				case 1:
+					c.Lookup(k)
+				case 2:
+					c.PutNegative(k)
+				case 3:
+					c.Invalidate(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 64 {
+		t.Fatalf("len %d exceeds distinct keys", n)
+	}
+}
+
+func TestShardBoundHolds(t *testing.T) {
+	c := New(Config{Shards: 4, MaxEntries: 64})
+	for i := 0; i < 10_000; i++ {
+		c.Put(hashkey.FromName(fmt.Sprintf("k%d", i)), "addr", time.Minute)
+	}
+	if n := c.Len(); n > 64 {
+		t.Fatalf("cache grew to %d entries, bound is 64", n)
+	}
+}

@@ -1,0 +1,93 @@
+package loccache
+
+// Singleflight for discovery: when many goroutines miss on the same key
+// at once, exactly one _discovery goes to the network and its answer
+// serves every waiter. The flight runs in its own goroutine with its own
+// lifetime (the caller hands it a detached, budgeted context), so one
+// waiter giving up — or even the waiter that started it — never cancels
+// the resolution the others are blocked on. Waiters honor their own
+// contexts independently.
+
+import (
+	"context"
+	"sync"
+
+	"bristle/internal/hashkey"
+)
+
+type flight struct {
+	done chan struct{} // closed when addr/err are final
+	addr string
+	err  error
+}
+
+// Group coalesces concurrent resolutions per key. The zero value is
+// ready to use.
+type Group struct {
+	mu      sync.Mutex
+	flights map[hashkey.Key]*flight
+}
+
+// Do returns key's in-progress flight result, starting fn in a new
+// goroutine if no flight is running. shared reports whether this call
+// joined a flight someone else started (the coalesced case). ctx bounds
+// only this caller's wait: on cancellation Do returns ctx.Err() and the
+// flight keeps running for the remaining waiters.
+func (g *Group) Do(ctx context.Context, key hashkey.Key, fn func() (string, error)) (addr string, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[hashkey.Key]*flight)
+	}
+	f, ok := g.flights[key]
+	if !ok {
+		f = &flight{done: make(chan struct{})}
+		g.flights[key] = f
+		go g.run(key, f, fn)
+	}
+	g.mu.Unlock()
+	select {
+	case <-f.done:
+		return f.addr, ok, f.err
+	case <-ctx.Done():
+		return "", ok, ctx.Err()
+	}
+}
+
+// Launch starts a detached flight for key if none is running and reports
+// whether it did — the fire-and-forget form behind stale-while-revalidate
+// and the early-binding refresher. Nobody waits on the result here; a
+// concurrent Do for the same key joins the launched flight.
+func (g *Group) Launch(key hashkey.Key, fn func() (string, error)) bool {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[hashkey.Key]*flight)
+	}
+	if _, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		return false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+	go g.run(key, f, fn)
+	return true
+}
+
+// run executes one flight and publishes its result. The map entry is
+// removed before done closes, so a waiter that wakes and retries always
+// either joins a live flight or starts a fresh one — never observes a
+// finished flight as "in progress".
+func (g *Group) run(key hashkey.Key, f *flight, fn func() (string, error)) {
+	f.addr, f.err = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// Inflight reports how many flights are currently running.
+func (g *Group) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

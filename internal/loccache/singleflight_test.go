@@ -1,0 +1,144 @@
+package loccache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bristle/internal/hashkey"
+)
+
+func TestDoCoalescesConcurrentCallers(t *testing.T) {
+	var g Group
+	k := hashkey.FromName("k")
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	fn := func() (string, error) {
+		calls.Add(1)
+		<-gate
+		return "addr", nil
+	}
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	var arrived atomic.Int32
+	sharedCount := atomic.Int32{}
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arrived.Add(1)
+			addr, shared, err := g.Do(context.Background(), k, fn)
+			if err != nil || addr != "addr" {
+				t.Errorf("Do: %q %v", addr, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// The flight cannot complete while the gate is shut, so every caller
+	// that reaches Do before the gate opens joins the same flight. Wait
+	// for all of them to be at Do's doorstep (plus a scheduling grace
+	// period) before releasing it.
+	for arrived.Load() != waiters {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != waiters-1 {
+		t.Fatalf("%d callers saw shared, want %d", got, waiters-1)
+	}
+}
+
+func TestDoWaiterCancellationLeavesFlightRunning(t *testing.T) {
+	var g Group
+	k := hashkey.FromName("k")
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	fn := func() (string, error) {
+		close(started)
+		<-gate
+		return "late", nil
+	}
+
+	if !g.Launch(k, fn) {
+		t.Fatal("Launch refused with no flight running")
+	}
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := g.Do(ctx, k, fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v", err)
+	}
+
+	// The flight survived the waiter's departure: a patient waiter still
+	// gets its result. (The waiter's fallback fn returns the same value,
+	// so the assertion holds even if it races past the flight's finish.)
+	done := make(chan string, 1)
+	go func() {
+		addr, _, _ := g.Do(context.Background(), k, func() (string, error) { return "late", nil })
+		done <- addr
+	}()
+	close(gate)
+	if addr := <-done; addr != "late" {
+		t.Fatalf("patient waiter got %q, want late", addr)
+	}
+}
+
+func TestLaunchDeduplicates(t *testing.T) {
+	var g Group
+	k := hashkey.FromName("k")
+	gate := make(chan struct{})
+	var calls atomic.Int32
+	fn := func() (string, error) {
+		calls.Add(1)
+		<-gate
+		return "", nil
+	}
+	if !g.Launch(k, fn) {
+		t.Fatal("first Launch refused")
+	}
+	if g.Launch(k, fn) {
+		t.Fatal("second Launch started a duplicate flight")
+	}
+	close(gate)
+	for g.Inflight() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	// After completion the key is free again.
+	if !g.Launch(k, func() (string, error) { return "", nil }) {
+		t.Fatal("Launch refused after flight completed")
+	}
+}
+
+func TestSequentialDoDoesNotShare(t *testing.T) {
+	var g Group
+	k := hashkey.FromName("k")
+	for i := 0; i < 3; i++ {
+		addr, shared, err := g.Do(context.Background(), k, func() (string, error) { return "a", nil })
+		if err != nil || addr != "a" || shared {
+			t.Fatalf("iteration %d: %q shared=%v err=%v", i, addr, shared, err)
+		}
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	var g Group
+	sentinel := errors.New("boom")
+	_, _, err := g.Do(context.Background(), hashkey.FromName("k"), func() (string, error) { return "", sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}

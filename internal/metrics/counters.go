@@ -59,6 +59,29 @@ func (c *Counters) Snapshot() map[string]uint64 {
 	return out
 }
 
+// Diff returns the per-counter increase since prev (a Snapshot taken
+// earlier). Counters whose value did not change are omitted, so the
+// result reads as "what happened during this interval" — the shape a
+// periodic stats reporter wants. Counters are monotonic; a prev entry
+// above the current value (a different registry, or a restart) is
+// treated as new and reported at its full current value.
+func (c *Counters) Diff(prev map[string]uint64) map[string]uint64 {
+	cur := c.Snapshot()
+	out := make(map[string]uint64)
+	for k, v := range cur {
+		if p, ok := prev[k]; ok && p <= v {
+			if v > p {
+				out[k] = v - p
+			}
+			continue
+		}
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
 // Names returns the registered counter names in sorted order.
 func (c *Counters) Names() []string {
 	if c == nil {

@@ -44,6 +44,37 @@ func TestCountersNilIsNoOpSink(t *testing.T) {
 	}
 }
 
+func TestCountersDiff(t *testing.T) {
+	c := NewCounters()
+	c.Add("steady", 5)
+	c.Add("busy", 10)
+	prev := c.Snapshot()
+
+	c.Add("busy", 7)
+	c.Inc("fresh")
+	d := c.Diff(prev)
+	if len(d) != 2 || d["busy"] != 7 || d["fresh"] != 1 {
+		t.Fatalf("Diff = %v, want busy=7 fresh=1 only", d)
+	}
+	if _, ok := d["steady"]; ok {
+		t.Fatal("unchanged counter must be omitted from Diff")
+	}
+
+	// A prev entry above the current value (different registry / restart)
+	// reports the full current value rather than underflowing.
+	other := NewCounters()
+	other.Add("busy", 3)
+	if d := other.Diff(prev); d["busy"] != 3 {
+		t.Fatalf("regressed counter Diff = %v, want busy=3", d)
+	}
+
+	// Nil registry: empty diff, no panic.
+	var nilC *Counters
+	if d := nilC.Diff(prev); len(d) != 0 {
+		t.Fatalf("nil Diff = %v", d)
+	}
+}
+
 func TestCountersConcurrent(t *testing.T) {
 	c := NewCounters()
 	var wg sync.WaitGroup
