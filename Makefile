@@ -1,7 +1,8 @@
-GO        ?= go
-BENCHTIME ?= 100x
+GO           ?= go
+BENCHTIME    ?= 100x
+SOAK_SECONDS ?= 60
 
-.PHONY: build test race bench clean
+.PHONY: build test race bench soak clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,15 @@ bench:
 		-benchtime $(BENCHTIME) -benchmem ./internal/live | tee bench_resolve.txt
 	$(GO) run ./cmd/benchjson -in bench_resolve.txt -out BENCH_resolve.json
 	@rm -f bench_resolve.txt
+
+# soak runs randomized seeded mobility/churn scenarios on the scenario
+# harness (internal/harness) under the race detector until the
+# SOAK_SECONDS budget runs out. A failure prints the reproducing
+# BRISTLE_SOAK_SEED; re-run with it set to replay the identical op
+# schedule.
+soak:
+	BRISTLE_SOAK_SECONDS=$(SOAK_SECONDS) $(GO) test -race -count=1 \
+		-run 'TestSoak$$' -timeout 20m -v ./internal/harness
 
 clean:
 	rm -f bench_resolve.txt BENCH_resolve.json

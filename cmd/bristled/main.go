@@ -147,7 +147,7 @@ func main() {
 	}
 
 	if *watch != "" {
-		go watchLoop(ctx, node, *watch, *opTimeout)
+		go watchLoop(ctx, node, *watch, *lease, *opTimeout)
 	}
 
 	for {
@@ -208,8 +208,13 @@ func withDeadline(parent context.Context, d time.Duration, op func(context.Conte
 
 // watchLoop resolves the watched node and registers interest, retrying
 // until it succeeds (the watched node may join later) or ctx ends.
-func watchLoop(ctx context.Context, node *live.Node, watched string, opTimeout time.Duration) {
+// Registrations are leased soft state — they expire with this node's
+// lease TTL — so with a non-zero lease the loop keeps renewing the
+// registration (against the target's current address) well inside the
+// lease window; with a zero lease one registration lasts forever.
+func watchLoop(ctx context.Context, node *live.Node, watched string, lease, opTimeout time.Duration) {
 	key := hashkey.FromName(watched)
+	registered := false
 	for ctx.Err() == nil {
 		err := withDeadline(ctx, opTimeout, func(ctx context.Context) error {
 			addr, err := node.DiscoverContext(ctx, key)
@@ -219,16 +224,23 @@ func watchLoop(ctx context.Context, node *live.Node, watched string, opTimeout t
 			if err := node.RegisterWithContext(ctx, addr); err != nil {
 				return err
 			}
-			fmt.Printf("watching %s (key %v) at %s\n", watched, key, addr)
+			if !registered {
+				fmt.Printf("watching %s (key %v) at %s\n", watched, key, addr)
+				registered = true
+			}
 			return nil
 		})
-		if err == nil {
+		if err == nil && lease == 0 {
 			return
+		}
+		wait := 2 * time.Second
+		if err == nil {
+			wait = lease / 2
 		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(2 * time.Second):
+		case <-time.After(wait):
 		}
 	}
 }

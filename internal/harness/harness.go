@@ -1,0 +1,726 @@
+// Package harness is an in-process cluster fabric for scenario-testing
+// the live Bristle stack end to end: it spins up N live.Nodes over a
+// seeded fault-injection transport, executes a scripted scenario of
+// typed ops — Move, Crash/Restart, Partition/Heal, Publish/Register/
+// Resolve bursts — from one PRNG seed, and runs pluggable invariant
+// checkers after each step and at quiescence.
+//
+// Everything observable is derived from Config.Seed: the fault streams
+// (per directed link, via transport.Faulty), the gossip partner choices,
+// and — for the randomized soak — the op schedule itself (soak.go), so a
+// failing run is reproduced by re-running with the printed seed.
+//
+// The harness models mobility and failure the way the paper does:
+//
+//   - Move rebinds a mobile node to a fresh attachment point (new
+//     address), republishes, and pushes the update down its LDT.
+//   - Crash kills a node outright (its address goes dark); Restart
+//     reoccupies the same address — a reboot, not a relocation — so the
+//     stale membership views other nodes hold become true again, and the
+//     records the node held as a replica are simply lost (late binding
+//     and lease renewal must recover them).
+//   - Partition/Heal install and remove named bidirectional splits on
+//     the transport.
+//
+// Invariants (invariants.go): resolvability, update delivery, counter
+// conservation, goroutine-leak-free shutdown.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/live"
+	"bristle/internal/metrics"
+	"bristle/internal/transport"
+)
+
+// Config parameterizes a cluster. The zero value is not useful — at
+// least one stationary node is required (location records live in the
+// stationary layer).
+type Config struct {
+	// Seed roots every PRNG in the run: fault streams, gossip partner
+	// selection, and (for generated schedules) the ops themselves.
+	Seed int64
+	// Stationary and Mobile name the cluster members. Names double as
+	// transport endpoint names, so partitions match them directly.
+	Stationary []string
+	Mobile     []string
+	// LeaseTTL is every node's lease (published records, registrations,
+	// and the resolve cache write-throughs). Zero disables expiry.
+	LeaseTTL time.Duration
+	// Replication is the per-record replica count (default 2).
+	Replication int
+	// Faults is the chaos profile switched on after a clean bootstrap.
+	// Its Seed and Counters are overridden to the cluster's own.
+	Faults transport.FaultConfig
+	// Maintain, when non-nil, starts background maintenance on every
+	// node (its Rand is re-seeded per node from Seed).
+	Maintain *live.MaintainConfig
+	// OpTimeout bounds one scenario op (default 30s).
+	OpTimeout time.Duration
+	// Tune optionally adjusts one node's config before construction.
+	Tune func(name string, cfg *live.Config)
+	// Logf receives harness narration; nil silences it.
+	Logf func(format string, args ...interface{})
+}
+
+// member is one cluster slot: the current live.Node occupying it plus
+// everything that must survive a crash/restart cycle (the name, the
+// address being reoccupied, and the updates the slot has observed).
+type member struct {
+	name   string
+	mobile bool
+
+	mu        sync.Mutex
+	node      *live.Node
+	addr      string // last bound address; Restart reoccupies it
+	alive     bool
+	published bool
+	moves     int
+	stopMaint func()
+	drainStop chan struct{}
+	drainDone chan struct{}
+	observed  map[hashkey.Key]string // last pushed address per key, drained from Updates()
+}
+
+func (m *member) current() (*live.Node, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.node, m.alive
+}
+
+// Cluster is a running set of live nodes over one Faulty transport.
+type Cluster struct {
+	cfg      Config
+	Net      *transport.Faulty
+	Counters *metrics.Counters
+	Gauges   *metrics.Gauges
+
+	mu         sync.Mutex
+	members    map[string]*member
+	names      []string // stable order: stationary then mobile, as configured
+	partitions map[string][2][]string
+	history    map[hashkey.Key]map[string]bool // every address ever bound for a key
+	watchers   map[string]map[string]bool      // target name → registered watcher names
+	rng        *rand.Rand                      // scripted-choice PRNG (gossip partners, op fills)
+
+	baseGoroutines int
+	shutdownOnce   sync.Once
+	shutdownErr    error
+}
+
+// New builds, boots, joins, and gossips the cluster on a clean transport
+// until every node holds full membership, then switches cfg.Faults on.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Stationary) == 0 {
+		return nil, errors.New("harness: at least one stationary node required")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 30 * time.Second
+	}
+	c := &Cluster{
+		cfg:            cfg,
+		Counters:       metrics.NewCounters(),
+		Gauges:         metrics.NewGauges(),
+		members:        make(map[string]*member),
+		partitions:     make(map[string][2][]string),
+		history:        make(map[hashkey.Key]map[string]bool),
+		watchers:       make(map[string]map[string]bool),
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		baseGoroutines: runtime.NumGoroutine(),
+	}
+	c.Net = transport.NewFaulty(transport.NewMem(), transport.FaultConfig{Seed: cfg.Seed})
+
+	for _, name := range cfg.Stationary {
+		c.addMember(name, false)
+	}
+	for _, name := range cfg.Mobile {
+		c.addMember(name, true)
+	}
+	for _, name := range c.names {
+		if err := c.boot(name, ""); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+	}
+	boot := c.members[c.names[0]]
+	for _, name := range c.names[1:] {
+		m := c.members[name]
+		if err := m.node.JoinViaContext(c.opCtxDo(), boot.node.Addr()); err != nil {
+			c.Shutdown()
+			return nil, fmt.Errorf("harness: join %s: %w", name, err)
+		}
+	}
+	if err := c.gossipUntilFull(); err != nil {
+		c.Shutdown()
+		return nil, err
+	}
+	if cfg.Maintain != nil {
+		for _, name := range c.names {
+			c.startMaintenance(c.members[name])
+		}
+	}
+	// Chaos on: from here every frame faces the configured fault profile.
+	faults := cfg.Faults
+	faults.Seed = cfg.Seed
+	faults.Counters = c.Counters
+	c.Net.SetConfig(faults)
+	return c, nil
+}
+
+func (c *Cluster) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("harness: "+format, args...)
+	}
+}
+
+// opCtxDo returns a context bounding one internal operation. The caller
+// never cancels it explicitly; the timeout is the bound.
+func (c *Cluster) opCtxDo() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.OpTimeout)
+	_ = cancel // bounded by timeout; op completion is the normal exit
+	return ctx
+}
+
+func (c *Cluster) addMember(name string, mobile bool) {
+	m := &member{name: name, mobile: mobile, observed: make(map[hashkey.Key]string)}
+	c.members[name] = m
+	c.names = append(c.names, name)
+}
+
+// nodeConfig mirrors the aggressive-but-bounded resilience settings the
+// chaos suites converged on: short per-attempt deadlines, several
+// jittered retries, a breaker that trips (and probes) fast.
+func (c *Cluster) nodeConfig(m *member) live.Config {
+	lc := live.Config{
+		Name:               m.name,
+		Capacity:           4,
+		Mobile:             m.mobile,
+		Replication:        c.cfg.Replication,
+		LeaseTTL:           c.cfg.LeaseTTL,
+		RequestTimeout:     250 * time.Millisecond,
+		RetryAttempts:      6,
+		RetryBase:          5 * time.Millisecond,
+		RetryMax:           50 * time.Millisecond,
+		SuspicionThreshold: 3,
+		SuspicionCooldown:  150 * time.Millisecond,
+		Counters:           c.Counters,
+		Gauges:             c.Gauges,
+	}
+	if c.cfg.Tune != nil {
+		c.cfg.Tune(m.name, &lc)
+	}
+	return lc
+}
+
+// boot constructs and starts m's live node at listenAddr ("" allocates)
+// and attaches the update drainer. Caller ensures the slot is not alive.
+func (c *Cluster) boot(name, listenAddr string) error {
+	m := c.members[name]
+	nd := live.NewNode(c.nodeConfig(m), c.Net.Endpoint(name))
+	if err := nd.Start(listenAddr); err != nil {
+		return fmt.Errorf("harness: start %s: %v", name, err)
+	}
+	m.mu.Lock()
+	m.node = nd
+	m.addr = nd.Addr()
+	m.alive = true
+	m.drainStop = make(chan struct{})
+	m.drainDone = make(chan struct{})
+	m.mu.Unlock()
+	c.recordAddr(nd.Key(), nd.Addr())
+	go drainUpdates(m, nd, m.drainStop, m.drainDone)
+	return nil
+}
+
+// drainUpdates consumes a node's update channel into the member's
+// observed map, so the update-delivery invariant can ask "what is the
+// last address this slot was told about key K?".
+func drainUpdates(m *member, nd *live.Node, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case up := <-nd.Updates():
+			m.mu.Lock()
+			m.observed[up.Key] = up.Addr
+			m.mu.Unlock()
+		}
+	}
+}
+
+// startMaintenance launches background maintenance on m, re-seeding its
+// PRNG deterministically from the cluster seed and the member name.
+func (c *Cluster) startMaintenance(m *member) {
+	mc := *c.cfg.Maintain
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|maint|%s|%d", c.cfg.Seed, m.name, m.moves)
+	mc.Rand = rand.New(rand.NewSource(int64(h.Sum64())))
+	m.mu.Lock()
+	m.stopMaint = m.node.StartMaintenance(mc)
+	m.mu.Unlock()
+}
+
+// gossipUntilFull runs anti-entropy rounds until every live node knows
+// every live node, bounded at 16 rounds.
+func (c *Cluster) gossipUntilFull() error {
+	want := len(c.names)
+	for round := 0; round < 16; round++ {
+		full := true
+		for _, name := range c.names {
+			m := c.members[name]
+			if _, err := m.node.GossipOnce(c.rng); err != nil {
+				return fmt.Errorf("harness: bootstrap gossip %s: %w", name, err)
+			}
+			if len(m.node.KnownPeers()) != want {
+				full = false
+			}
+		}
+		if full {
+			return nil
+		}
+	}
+	return errors.New("harness: membership never converged during bootstrap")
+}
+
+func (c *Cluster) recordAddr(key hashkey.Key, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.history[key]
+	if !ok {
+		set = make(map[string]bool)
+		c.history[key] = set
+	}
+	set[addr] = true
+}
+
+// --- accessors ---
+
+// Seed returns the seed the whole run derives from.
+func (c *Cluster) Seed() int64 { return c.cfg.Seed }
+
+// Node returns name's current live node (nil for unknown names). The
+// node may be closed if the member has crashed — check Alive.
+func (c *Cluster) Node(name string) *live.Node {
+	m := c.members[name]
+	if m == nil {
+		return nil
+	}
+	nd, _ := m.current()
+	return nd
+}
+
+// Alive reports whether name is currently running.
+func (c *Cluster) Alive(name string) bool {
+	m := c.members[name]
+	if m == nil {
+		return false
+	}
+	_, alive := m.current()
+	return alive
+}
+
+// Addr returns name's current address ("" when crashed or unknown).
+func (c *Cluster) Addr(name string) string {
+	nd := c.Node(name)
+	if nd == nil || !c.Alive(name) {
+		return ""
+	}
+	return nd.Addr()
+}
+
+// Key returns name's ring key (stable across crash/restart/move).
+func (c *Cluster) Key(name string) hashkey.Key {
+	return hashkey.FromName(name)
+}
+
+// Names returns every member name in configured order.
+func (c *Cluster) Names() []string { return append([]string(nil), c.names...) }
+
+// LiveNames returns the currently running members in configured order.
+func (c *Cluster) LiveNames() []string {
+	var out []string
+	for _, name := range c.names {
+		if c.Alive(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Mobile reports whether name was configured as a mobile node.
+func (c *Cluster) Mobile(name string) bool {
+	m := c.members[name]
+	return m != nil && m.mobile
+}
+
+// Moves reports how many times name has moved (Move ops applied).
+func (c *Cluster) Moves(name string) int {
+	m := c.members[name]
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.moves
+}
+
+// Published reports whether name has published its location at least
+// once (and so is expected to be resolvable while alive).
+func (c *Cluster) Published(name string) bool {
+	m := c.members[name]
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.published
+}
+
+// EverBound reports whether addr was ever a valid address for key — the
+// resolvability invariant uses it to tell "stale within lease" (allowed
+// transiently) from "never correct" (an immediate failure).
+func (c *Cluster) EverBound(key hashkey.Key, addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.history[key][addr]
+}
+
+// Observed returns the last address watcher was told target moved to
+// through an LDT push ("" when no push arrived yet).
+func (c *Cluster) Observed(watcher, target string) string {
+	m := c.members[watcher]
+	if m == nil {
+		return ""
+	}
+	key := c.Key(target)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observed[key]
+}
+
+// Watchers returns the names registered as interested in target, sorted.
+func (c *Cluster) Watchers(target string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for w := range c.watchers[target] {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActivePartitions returns the names of partitions installed through the
+// cluster and not yet healed, sorted.
+func (c *Cluster) ActivePartitions() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for name := range c.partitions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- cluster actions (the ops in scenario.go call these) ---
+
+// Publish pushes name's location to its key's replicas.
+func (c *Cluster) Publish(name string) error {
+	m := c.members[name]
+	if m == nil {
+		return fmt.Errorf("harness: publish: unknown node %s", name)
+	}
+	nd, alive := m.current()
+	if !alive {
+		return fmt.Errorf("harness: publish: %s is crashed", name)
+	}
+	if err := nd.PublishContext(c.opCtxDo()); err != nil {
+		return fmt.Errorf("harness: publish %s: %w", name, err)
+	}
+	m.mu.Lock()
+	m.published = true
+	m.mu.Unlock()
+	return nil
+}
+
+// Move rebinds a mobile member to a fresh attachment point,
+// republishing and pushing the update through its LDT.
+func (c *Cluster) Move(name string) error {
+	m := c.members[name]
+	if m == nil {
+		return fmt.Errorf("harness: move: unknown node %s", name)
+	}
+	nd, alive := m.current()
+	if !alive {
+		return fmt.Errorf("harness: move: %s is crashed", name)
+	}
+	err := nd.RebindContext(c.opCtxDo(), "")
+	// The listener moved even when the republish failed: record the new
+	// address either way so the history stays truthful.
+	m.mu.Lock()
+	m.addr = nd.Addr()
+	m.moves++
+	if err == nil {
+		m.published = true
+	}
+	m.mu.Unlock()
+	c.recordAddr(nd.Key(), nd.Addr())
+	if err != nil {
+		return fmt.Errorf("harness: move %s: %w", name, err)
+	}
+	c.logf("%s moved to %s", name, nd.Addr())
+	return nil
+}
+
+// Crash kills name outright: maintenance stops, the update drainer
+// stops, and the node closes — its address goes dark until Restart.
+func (c *Cluster) Crash(name string) error {
+	m := c.members[name]
+	if m == nil {
+		return fmt.Errorf("harness: crash: unknown node %s", name)
+	}
+	m.mu.Lock()
+	if !m.alive {
+		m.mu.Unlock()
+		return fmt.Errorf("harness: crash: %s already crashed", name)
+	}
+	m.alive = false
+	nd := m.node
+	stopMaint := m.stopMaint
+	m.stopMaint = nil
+	drainStop, drainDone := m.drainStop, m.drainDone
+	m.mu.Unlock()
+	if stopMaint != nil {
+		stopMaint()
+	}
+	close(drainStop)
+	<-drainDone
+	if err := nd.Close(); err != nil {
+		return fmt.Errorf("harness: crash %s: %w", name, err)
+	}
+	c.logf("%s crashed (was %s)", name, m.addr)
+	return nil
+}
+
+// Restart reboots a crashed member at its previous address (same
+// machine, same attachment point), rejoins it through any live node, and
+// republishes its location if it had published before the crash.
+func (c *Cluster) Restart(name string) error {
+	m := c.members[name]
+	if m == nil {
+		return fmt.Errorf("harness: restart: unknown node %s", name)
+	}
+	m.mu.Lock()
+	if m.alive {
+		m.mu.Unlock()
+		return fmt.Errorf("harness: restart: %s is not crashed", name)
+	}
+	listenAddr := m.addr
+	wasPublished := m.published
+	m.mu.Unlock()
+
+	var bootstrap string
+	for _, other := range c.LiveNames() {
+		if other != name {
+			bootstrap = c.Addr(other)
+			break
+		}
+	}
+	if bootstrap == "" {
+		return errors.New("harness: restart: no live node to rejoin through")
+	}
+	if err := c.boot(name, listenAddr); err != nil {
+		return err
+	}
+	nd := c.Node(name)
+	if err := nd.JoinViaContext(c.opCtxDo(), bootstrap); err != nil {
+		return fmt.Errorf("harness: restart %s: rejoin: %w", name, err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := nd.GossipOnce(c.rng); err != nil {
+			c.logf("restart %s: gossip round %d: %v", name, i, err)
+		}
+	}
+	if wasPublished {
+		if err := c.Publish(name); err != nil {
+			return err
+		}
+	}
+	if c.cfg.Maintain != nil {
+		c.startMaintenance(m)
+	}
+	c.logf("%s restarted at %s", name, nd.Addr())
+	return nil
+}
+
+// Partition installs a named bidirectional split between groups a and b.
+func (c *Cluster) Partition(name string, a, b []string) error {
+	c.mu.Lock()
+	if _, dup := c.partitions[name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("harness: partition %s already installed", name)
+	}
+	c.partitions[name] = [2][]string{append([]string(nil), a...), append([]string(nil), b...)}
+	c.mu.Unlock()
+	c.Net.PartitionBoth(name, a, b)
+	c.logf("partition %s: %v ⟂ %v", name, a, b)
+	return nil
+}
+
+// Heal removes the named partition.
+func (c *Cluster) Heal(name string) error {
+	c.mu.Lock()
+	_, ok := c.partitions[name]
+	delete(c.partitions, name)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("harness: heal: no partition named %s", name)
+	}
+	c.Net.Heal(name)
+	c.logf("partition %s healed", name)
+	return nil
+}
+
+// HealAll removes every partition installed through the cluster.
+func (c *Cluster) HealAll() {
+	for _, name := range c.ActivePartitions() {
+		_ = c.Heal(name)
+	}
+}
+
+// Register records watcher's interest in target's movement (renewing the
+// registration lease when called again).
+func (c *Cluster) Register(watcher, target string) error {
+	wn, tn := c.Node(watcher), c.Node(target)
+	if wn == nil || tn == nil || !c.Alive(watcher) || !c.Alive(target) {
+		return fmt.Errorf("harness: register %s→%s: both must be live", watcher, target)
+	}
+	if err := wn.RegisterWithContext(c.opCtxDo(), tn.Addr()); err != nil {
+		return fmt.Errorf("harness: register %s→%s: %w", watcher, target, err)
+	}
+	c.mu.Lock()
+	set, ok := c.watchers[target]
+	if !ok {
+		set = make(map[string]bool)
+		c.watchers[target] = set
+	}
+	set[watcher] = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Resolve resolves target's key from from's cache-first resolve path.
+func (c *Cluster) Resolve(from, target string) (string, error) {
+	fn := c.Node(from)
+	if fn == nil || !c.Alive(from) {
+		return "", fmt.Errorf("harness: resolve: %s is not live", from)
+	}
+	return fn.ResolveContext(c.opCtxDo(), c.Key(target))
+}
+
+// Gossip runs anti-entropy rounds across every live node.
+func (c *Cluster) Gossip(rounds int) error {
+	for i := 0; i < rounds; i++ {
+		for _, name := range c.LiveNames() {
+			if _, err := c.Node(name).GossipOnce(c.rng); err != nil {
+				c.logf("gossip %s: %v", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// StopMaintenance stops name's background maintenance loops (idempotent;
+// used by lease-expiry scenarios that need renewal to cease).
+func (c *Cluster) StopMaintenance(name string) {
+	m := c.members[name]
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	stop := m.stopMaint
+	m.stopMaint = nil
+	m.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// Shutdown stops maintenance, drainers, and every node, then waits for
+// the process's goroutine count to settle back to the pre-cluster
+// baseline (detached singleflight flights may outlive Close by up to a
+// retry budget). Idempotent; safe to defer alongside explicit calls.
+func (c *Cluster) Shutdown() error {
+	c.shutdownOnce.Do(func() {
+		for _, name := range c.names {
+			m := c.members[name]
+			if _, alive := m.current(); alive {
+				if err := c.Crash(name); err != nil && c.shutdownErr == nil {
+					c.shutdownErr = err
+				}
+			}
+		}
+		c.waitGoroutines()
+	})
+	return c.shutdownErr
+}
+
+// waitGoroutines blocks until the goroutine count returns to (near) the
+// pre-cluster baseline or a generous deadline passes. It does not fail —
+// the NoLeaks checker owns the assertion — it only quiesces the process
+// so post-shutdown counter checks see a world at rest.
+func (c *Cluster) waitGoroutines() {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= c.baseGoroutines+goroutineSlack {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// goroutineSlack absorbs runtime/testing helper goroutines that come and
+// go independently of the cluster.
+const goroutineSlack = 3
+
+// DumpState renders the cluster's observable state — counters, gauges,
+// live membership, partitions — for failure output, so a soak failure is
+// diagnosable from its artifact alone.
+func (c *Cluster) DumpState() string {
+	return fmt.Sprintf(
+		"seed: %d\nlive: %v\npartitions: %v (transport: %v)\ncounters: %s\ngauges: %s",
+		c.cfg.Seed, c.LiveNames(), c.ActivePartitions(), c.Net.PartitionNames(),
+		c.Counters, c.Gauges)
+}
+
+// Eventually retries op every 10ms until it succeeds or the deadline
+// lapses, returning the last error — the standard shape for asserting
+// convergence under injected faults.
+func Eventually(d time.Duration, op func() error) error {
+	limit := time.Now().Add(d)
+	for {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(limit) {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,208 @@
+package harness_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"bristle/internal/harness"
+	"bristle/internal/live"
+	"bristle/internal/transport"
+)
+
+// maintain returns the standard background-maintenance profile the
+// scenario suite runs under: gossip, renewal faster than the lease, and
+// suspect probing.
+func maintain() *live.MaintainConfig {
+	return &live.MaintainConfig{
+		GossipInterval: 300 * time.Millisecond,
+		RenewInterval:  400 * time.Millisecond,
+		ProbeInterval:  250 * time.Millisecond,
+	}
+}
+
+// TestScenarios is the table-driven acceptance suite: each entry scripts
+// one mobility/fault story and every entry is judged by the same four
+// invariants (plus scenario-specific checks). All run under -race.
+func TestScenarios(t *testing.T) {
+	scenarios := []harness.Scenario{
+		ringChurn(),
+		flashCrowdResolveStorm(),
+		partitionDuringRebind(),
+		registryUnderMoverCrash(),
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			harness.Run(t, sc)
+		})
+	}
+}
+
+// ringChurn churns the ring while mobiles keep moving: a stationary
+// replica crashes and reboots, a mobile crashes mid-life and comes back,
+// all under 15% frame loss with maintenance renewing leases throughout.
+func ringChurn() harness.Scenario {
+	return harness.Scenario{
+		Name: "ring-churn",
+		Cluster: harness.Config{
+			Seed:        101,
+			Stationary:  []string{"s1", "s2", "s3", "s4", "s5"},
+			Mobile:      []string{"m1", "m2"},
+			LeaseTTL:    2 * time.Second,
+			Replication: 3,
+			Faults:      transport.FaultConfig{Drop: 0.15, DelayMax: 20 * time.Millisecond},
+			Maintain:    maintain(),
+		},
+		Ops: []harness.Op{
+			harness.Publish{Node: "m1"},
+			harness.Publish{Node: "m2"},
+			harness.Register{Watcher: "s1", Target: "m1"},
+			harness.Register{Watcher: "s2", Target: "m1"},
+			harness.Register{Watcher: "s3", Target: "m2"},
+			harness.Move{Node: "m1"},
+			harness.Crash{Node: "s4"},
+			harness.Move{Node: "m2"},
+			harness.Resolve{From: "s1", Target: "m2", Within: 10 * time.Second},
+			harness.Restart{Node: "s4"},
+			harness.Crash{Node: "m2"},
+			harness.Settle{For: 300 * time.Millisecond},
+			harness.Restart{Node: "m2"},
+			harness.Move{Node: "m2"},
+			harness.Gossip{Rounds: 2},
+		},
+		Quiesce: 200 * time.Millisecond,
+	}
+}
+
+// flashCrowdResolveStorm slams one freshly published mobile with a storm
+// of concurrent resolvers through a single node: every resolver must get
+// the right address while singleflight coalescing keeps the number of
+// network discoveries far below the number of callers.
+func flashCrowdResolveStorm() harness.Scenario {
+	const stormers = 48
+	return harness.Scenario{
+		Name: "flash-crowd-resolve-storm",
+		Cluster: harness.Config{
+			Seed:        202,
+			Stationary:  []string{"s1", "s2", "s3"},
+			Mobile:      []string{"m1"},
+			LeaseTTL:    30 * time.Second,
+			Replication: 2,
+			Faults:      transport.FaultConfig{Drop: 0.10, DelayMax: 10 * time.Millisecond},
+		},
+		Ops: []harness.Op{
+			harness.Publish{Node: "m1"},
+			harness.Storm{From: "s1", Target: "m1", Resolvers: stormers, Within: 15 * time.Second},
+		},
+		Checkers: append(harness.DefaultCheckers(), harness.CheckFunc{
+			Label: "storm-coalesced",
+			Quiesce: func(c *harness.Cluster) error {
+				d := c.Counters.Get("resolve.discoveries")
+				if d == 0 || d > stormers/4 {
+					return fmt.Errorf("resolve.discoveries = %d for %d resolvers; want coalesced to a handful", d, stormers)
+				}
+				return nil
+			},
+		}),
+	}
+}
+
+// partitionDuringRebind cuts two stationary nodes (one of them a
+// registered watcher) away while a mobile rebinds, then heals: the
+// formerly islanded nodes must converge on the post-move address, and
+// the watcher must still observe the move through the LDT.
+func partitionDuringRebind() harness.Scenario {
+	island := []string{"s4", "s5"}
+	mainland := []string{"s1", "s2", "s3", "m1"}
+	return harness.Scenario{
+		Name: "partition-during-rebind",
+		Cluster: harness.Config{
+			Seed:        303,
+			Stationary:  []string{"s1", "s2", "s3", "s4", "s5"},
+			Mobile:      []string{"m1"},
+			LeaseTTL:    2 * time.Second,
+			Replication: 3,
+			Faults:      transport.FaultConfig{Drop: 0.15, DelayMax: 20 * time.Millisecond},
+			Maintain:    maintain(),
+		},
+		Ops: []harness.Op{
+			harness.Publish{Node: "m1"},
+			harness.Register{Watcher: "s1", Target: "m1"},
+			harness.Register{Watcher: "s4", Target: "m1"},
+			harness.Partition{Name: "split", A: island, B: mainland},
+			harness.Move{Node: "m1"},
+			harness.Resolve{From: "s2", Target: "m1", Within: 10 * time.Second},
+			harness.Settle{For: 500 * time.Millisecond},
+			harness.Heal{Name: "split"},
+			harness.Resolve{From: "s4", Target: "m1", Within: 15 * time.Second},
+		},
+		Quiesce: 200 * time.Millisecond,
+	}
+}
+
+// registryUnderMoverCrash crashes a mover that watchers registered with:
+// the crash wipes its registry, so after the reboot the watchers'
+// renewed registrations must repopulate it and the next move must reach
+// them again.
+func registryUnderMoverCrash() harness.Scenario {
+	return harness.Scenario{
+		Name: "registry-under-mover-crash",
+		Cluster: harness.Config{
+			Seed:        404,
+			Stationary:  []string{"s1", "s2", "s3", "s4"},
+			Mobile:      []string{"m1"},
+			LeaseTTL:    2 * time.Second,
+			Replication: 2,
+			Faults:      transport.FaultConfig{Drop: 0.10, DelayMax: 10 * time.Millisecond},
+			Maintain:    maintain(),
+		},
+		Ops: []harness.Op{
+			harness.Publish{Node: "m1"},
+			harness.Register{Watcher: "s1", Target: "m1"},
+			harness.Register{Watcher: "s2", Target: "m1"},
+			harness.Move{Node: "m1"},
+			harness.Crash{Node: "m1"},
+			harness.Settle{For: 300 * time.Millisecond},
+			harness.Restart{Node: "m1"},
+			harness.Move{Node: "m1"},
+		},
+		Checkers: append(harness.DefaultCheckers(), harness.CheckFunc{
+			Label: "registry-repopulated",
+			// Runs after the update-delivery checker re-registered the
+			// watchers with the rebooted mover.
+			Quiesce: func(c *harness.Cluster) error {
+				if got := len(c.Node("m1").Registry()); got == 0 {
+					return fmt.Errorf("mover registry empty after reboot + renewed interest")
+				}
+				return nil
+			},
+		}),
+		Quiesce: 200 * time.Millisecond,
+	}
+}
+
+// TestAfterStepCheckAndDump exercises the failure path: a scenario whose
+// scripted op references a crashed node must fail with the reproducing
+// seed and a state dump, not hang or panic.
+func TestAfterStepCheckAndDump(t *testing.T) {
+	err := harness.Execute(harness.Scenario{
+		Name: "bad-script",
+		Cluster: harness.Config{
+			Seed:       1,
+			Stationary: []string{"s1", "s2"},
+			Mobile:     []string{"m1"},
+		},
+		Ops: []harness.Op{
+			harness.Crash{Node: "m1"},
+			harness.Move{Node: "m1"}, // moving a crashed node: scripted error
+		},
+	}, t.Logf)
+	if err == nil {
+		t.Fatal("scenario with an invalid script reported success")
+	}
+	if !strings.Contains(err.Error(), "cluster state") {
+		t.Fatalf("failure lacks state dump: %v", err)
+	}
+}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Checker is one pluggable invariant. AfterStep runs after every applied
+// op (cheap, monotone checks — background goroutines are still mutating
+// the world); AtQuiescence runs once the schedule is done and every
+// partition is healed, with the cluster still serving; AfterShutdown
+// runs after every node closed and the goroutine count settled.
+type Checker interface {
+	Name() string
+	AfterStep(c *Cluster, op Op) error
+	AtQuiescence(c *Cluster) error
+	AfterShutdown(c *Cluster) error
+}
+
+// DefaultCheckers returns the four core invariants: resolvability,
+// update delivery, goroutine-leak-free shutdown, counter conservation.
+func DefaultCheckers() []Checker {
+	return []Checker{
+		&Resolvability{},
+		&UpdateDelivery{},
+		&NoLeaks{},
+		&CounterConservation{},
+	}
+}
+
+// NopChecker is an embeddable base whose hooks all pass.
+type NopChecker struct{}
+
+func (NopChecker) AfterStep(*Cluster, Op) error { return nil }
+func (NopChecker) AtQuiescence(*Cluster) error  { return nil }
+func (NopChecker) AfterShutdown(*Cluster) error { return nil }
+
+// CheckFunc adapts plain functions into a Checker for scenario-specific
+// assertions (nil hooks pass).
+type CheckFunc struct {
+	Label    string
+	Step     func(c *Cluster, op Op) error
+	Quiesce  func(c *Cluster) error
+	Shutdown func(c *Cluster) error
+}
+
+func (f CheckFunc) Name() string { return f.Label }
+func (f CheckFunc) AfterStep(c *Cluster, op Op) error {
+	if f.Step == nil {
+		return nil
+	}
+	return f.Step(c, op)
+}
+func (f CheckFunc) AtQuiescence(c *Cluster) error {
+	if f.Quiesce == nil {
+		return nil
+	}
+	return f.Quiesce(c)
+}
+func (f CheckFunc) AfterShutdown(c *Cluster) error {
+	if f.Shutdown == nil {
+		return nil
+	}
+	return f.Shutdown(c)
+}
+
+// Resolvability asserts the paper's core behavioural claim: every
+// published, live key stays discoverable from every live node, and the
+// resolved address is the current one — or a previously valid one still
+// inside its lease/staleness window, in which case retrying must
+// converge on the current address before the deadline. An address that
+// was never bound to the key fails immediately.
+type Resolvability struct {
+	NopChecker
+	// Deadline bounds convergence per (resolver, key) pair. It must
+	// exceed the lease TTL: a resolver legitimately serves a cached old
+	// address until the lease lapses. Default 20s.
+	Deadline time.Duration
+}
+
+func (r *Resolvability) Name() string { return "resolvability" }
+
+func (r *Resolvability) AtQuiescence(c *Cluster) error {
+	if ps := c.ActivePartitions(); len(ps) > 0 {
+		return fmt.Errorf("cannot check under active partitions %v", ps)
+	}
+	deadline := r.Deadline
+	if deadline <= 0 {
+		deadline = 20 * time.Second
+	}
+	for _, target := range c.LiveNames() {
+		if !c.Published(target) {
+			continue
+		}
+		for _, from := range c.LiveNames() {
+			if from == target {
+				continue
+			}
+			err := Eventually(deadline, func() error {
+				return resolveOnce(c, from, target, true)
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UpdateDelivery asserts the LDT contract: a node holding a live
+// registration on a mover observes the mover's final address through
+// pushed updates. Each push is best-effort per transmission, so the
+// checker renews interest (re-register — which also repairs a
+// registration the mover lost by crashing) and re-pushes until the
+// update lands or the deadline lapses, exactly the refresh loop a real
+// registrant runs.
+type UpdateDelivery struct {
+	NopChecker
+	// Deadline bounds convergence per (watcher, mover) pair. Default 20s.
+	Deadline time.Duration
+}
+
+func (u *UpdateDelivery) Name() string { return "update-delivery" }
+
+func (u *UpdateDelivery) AtQuiescence(c *Cluster) error {
+	if ps := c.ActivePartitions(); len(ps) > 0 {
+		return fmt.Errorf("cannot check under active partitions %v", ps)
+	}
+	deadline := u.Deadline
+	if deadline <= 0 {
+		deadline = 20 * time.Second
+	}
+	for _, target := range c.LiveNames() {
+		if c.Moves(target) == 0 {
+			continue
+		}
+		for _, watcher := range c.Watchers(target) {
+			if !c.Alive(watcher) {
+				continue
+			}
+			watcher := watcher
+			err := Eventually(deadline, func() error {
+				final := c.Addr(target)
+				if got := c.Observed(watcher, target); got == final {
+					return nil
+				}
+				if err := c.Register(watcher, target); err != nil {
+					return err
+				}
+				if err := c.Node(target).UpdateRegistryContext(c.opCtxDo()); err != nil {
+					return err
+				}
+				time.Sleep(50 * time.Millisecond)
+				if got := c.Observed(watcher, target); got != final {
+					return fmt.Errorf("watcher %s observed %q for %s, want %q", watcher, got, target, final)
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("update delivery %s→%s: %w", target, watcher, err)
+			}
+		}
+	}
+	return nil
+}
+
+// CounterConservation asserts the metrics tell a consistent story:
+// every cache lookup is classified as exactly one of hit/stale/negative/
+// miss (≤ while lookups are in flight, == once the world is at rest),
+// and the pool gauges return to zero after Close.
+type CounterConservation struct{ NopChecker }
+
+func (CounterConservation) Name() string { return "counter-conservation" }
+
+func outcomeSum(c *Cluster) uint64 {
+	return c.Counters.Sum("loccache.hit", "loccache.stale", "loccache.negative", "loccache.miss")
+}
+
+func (CounterConservation) AfterStep(c *Cluster, op Op) error {
+	// The outcome counter bumps strictly after the lookup counter inside
+	// one Lookup call, so outcomes can only lag lookups, never lead.
+	if sum, lookups := outcomeSum(c), c.Counters.Get("loccache.lookups"); sum > lookups {
+		return fmt.Errorf("lookup outcomes %d exceed lookups %d", sum, lookups)
+	}
+	return nil
+}
+
+func (CounterConservation) AfterShutdown(c *Cluster) error {
+	// Detached refresh flights may still be finishing their last lookup;
+	// retry briefly before declaring the books unbalanced.
+	err := Eventually(5*time.Second, func() error {
+		if sum, lookups := outcomeSum(c), c.Counters.Get("loccache.lookups"); sum != lookups {
+			return fmt.Errorf("lookup outcomes %d != lookups %d at rest", sum, lookups)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, g := range []string{"pool.sessions", "pool.inflight"} {
+		if v := c.Gauges.Get(g); v != 0 {
+			return fmt.Errorf("gauge %s = %d after shutdown, want 0 (non-zero: %v)", g, v, c.Gauges.NonZero())
+		}
+	}
+	return nil
+}
+
+// NoLeaks asserts the cluster shut down without stranding goroutines:
+// after every node closes, the process goroutine count must return to
+// the pre-cluster baseline (±slack for runtime helpers).
+type NoLeaks struct {
+	NopChecker
+	// Settle bounds how long to wait for stragglers (detached flights
+	// live up to a retry budget past Close). Default 10s.
+	Settle time.Duration
+}
+
+func (*NoLeaks) Name() string { return "no-goroutine-leaks" }
+
+func (l *NoLeaks) AfterShutdown(c *Cluster) error {
+	settle := l.Settle
+	if settle <= 0 {
+		settle = 10 * time.Second
+	}
+	err := Eventually(settle, func() error {
+		if n := runtime.NumGoroutine(); n > c.baseGoroutines+goroutineSlack {
+			return fmt.Errorf("%d goroutines alive, baseline %d", n, c.baseGoroutines)
+		}
+		return nil
+	})
+	if err == nil {
+		return nil
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return errors.Join(err, fmt.Errorf("goroutine dump:\n%s", buf))
+}

@@ -1,0 +1,83 @@
+package harness_test
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"bristle/internal/harness"
+)
+
+// TestSoakScheduleDeterministic is the replay contract: one seed, one
+// schedule. Running the generator twice from the same seed must produce
+// byte-identical op schedules; a different seed must diverge.
+func TestSoakScheduleDeterministic(t *testing.T) {
+	cfg := harness.SoakCluster(77)
+	opt := harness.SoakOptions{Ops: 60}
+	a := harness.ScheduleString(harness.GenSchedule(cfg, rand.New(rand.NewSource(77)), opt))
+	b := harness.ScheduleString(harness.GenSchedule(cfg, rand.New(rand.NewSource(77)), opt))
+	if a != b {
+		t.Fatalf("same seed produced different schedules:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	other := harness.ScheduleString(harness.GenSchedule(cfg, rand.New(rand.NewSource(78)), opt))
+	if a == other {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestSoak runs randomized seeded mobility/churn scenarios until the
+// time budget runs out. Defaults are a CI-friendly smoke (one short
+// scenario); the nightly job raises the budget via env:
+//
+//	BRISTLE_SOAK_SECONDS=120 BRISTLE_SOAK_OPS=40 go test -race -run TestSoak -v ./internal/harness
+//
+// A failure prints the reproducing seed: re-run with BRISTLE_SOAK_SEED
+// set to it (and the same BRISTLE_SOAK_OPS) to replay the identical op
+// schedule.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	budget := time.Duration(envInt("BRISTLE_SOAK_SECONDS", 0)) * time.Second
+	ops := envInt("BRISTLE_SOAK_OPS", 25)
+	seed := int64(envInt("BRISTLE_SOAK_SEED", 0))
+	pinned := seed != 0
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+
+	start := time.Now()
+	for round := 0; ; round++ {
+		runSeed := seed + int64(round)
+		cfg := harness.SoakCluster(runSeed)
+		schedule := harness.GenSchedule(cfg, rand.New(rand.NewSource(runSeed)), harness.SoakOptions{Ops: ops})
+		t.Logf("soak round %d: seed %d, %d ops", round, runSeed, len(schedule))
+		err := harness.Execute(harness.Scenario{
+			Name:    "soak",
+			Cluster: cfg,
+			Ops:     schedule,
+			Quiesce: 200 * time.Millisecond,
+		}, t.Logf)
+		if err != nil {
+			t.Fatalf("soak failed — reproduce with BRISTLE_SOAK_SEED=%d BRISTLE_SOAK_OPS=%d\nschedule:\n%s\n%v",
+				runSeed, ops, harness.ScheduleString(schedule), err)
+		}
+		if pinned || time.Since(start) >= budget {
+			return // a pinned seed replays exactly one round
+		}
+	}
+}
+
+func envInt(name string, def int) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

@@ -1,16 +1,19 @@
 package integration
 
+// Both chaos integration tests run on the scenario harness
+// (internal/harness): it owns cluster bootstrap, seeded fault
+// injection, partitions, background maintenance, and leak-checked
+// shutdown, so these tests only script their story and assert on the
+// cluster's observable surface.
+
 import (
-	"context"
 	"errors"
 	"fmt"
-	"math/rand"
-	"sync"
 	"testing"
 	"time"
 
+	"bristle/internal/harness"
 	"bristle/internal/live"
-	"bristle/internal/metrics"
 	"bristle/internal/transport"
 )
 
@@ -19,156 +22,96 @@ import (
 // suspect probing) — behind a Faulty transport: 20% frame loss and
 // injected delay throughout, plus a two-node partition that heals
 // mid-run. Leases must keep refreshing through the loss so every mobile
-// stays discoverable, and the counters must show the resilience machinery
-// actually firing.
+// stays discoverable, and the counters must show the resilience
+// machinery actually firing.
 func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 	const seed = 1234
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-	counters := metrics.NewCounters()
-	faulty := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{Seed: seed})
-
-	stationary := []string{"t1", "t2", "t3", "t4", "t5", "t6"}
-	mobiles := []string{"u1", "u2"}
-	names := append(append([]string{}, stationary...), mobiles...)
-
 	const leaseTTL = time.Second
-	nodes := make(map[string]*live.Node, len(names))
-	var all []*live.Node
-	for _, name := range names {
-		nd := live.NewNode(live.Config{
-			Name:               name,
-			Capacity:           4,
-			Mobile:             name[0] == 'u',
-			Replication:        3,
-			LeaseTTL:           leaseTTL,
-			RequestTimeout:     250 * time.Millisecond,
-			RetryAttempts:      5,
-			RetryBase:          5 * time.Millisecond,
-			RetryMax:           40 * time.Millisecond,
-			SuspicionThreshold: 3,
-			SuspicionCooldown:  200 * time.Millisecond,
-			Counters:           counters,
-		}, faulty.Endpoint(name))
-		if err := nd.Start(""); err != nil {
-			t.Fatalf("start %s: %v", name, err)
-		}
-		nodes[name] = nd
-		all = append(all, nd)
-	}
-	defer func() {
-		for _, nd := range all {
-			nd.Close()
-		}
-	}()
-
-	boot := all[0]
-	for _, nd := range all[1:] {
-		if err := nd.JoinViaContext(ctx, boot.Addr()); err != nil {
-			t.Fatalf("join: %v", err)
-		}
-	}
-	rng := rand.New(rand.NewSource(seed))
-	for round := 0; round < 4; round++ {
-		for _, nd := range all {
-			if _, err := nd.GossipOnce(rng); err != nil {
-				t.Fatalf("gossip: %v", err)
-			}
-		}
-	}
-	for _, name := range mobiles {
-		if err := nodes[name].PublishContext(ctx); err != nil {
-			t.Fatalf("publish %s: %v", name, err)
-		}
-	}
-
-	// Background maintenance on every node: renewal faster than the lease
-	// TTL (records expire without it), plus gossip and suspect probing.
-	var stops []func()
-	for i, nd := range all {
-		stops = append(stops, nd.StartMaintenance(live.MaintainConfig{
+	island := []string{"t6", "u2"}
+	mainland := []string{"t1", "t2", "t3", "t4", "t5", "u1"}
+	c, err := harness.New(harness.Config{
+		Seed:        seed,
+		Stationary:  []string{"t1", "t2", "t3", "t4", "t5", "t6"},
+		Mobile:      []string{"u1", "u2"},
+		LeaseTTL:    leaseTTL,
+		Replication: 3,
+		Faults:      transport.FaultConfig{Drop: 0.20, DelayMax: 30 * time.Millisecond},
+		Maintain: &live.MaintainConfig{
 			GossipInterval: 300 * time.Millisecond,
 			RenewInterval:  300 * time.Millisecond,
 			ProbeInterval:  250 * time.Millisecond,
-			Rand:           rand.New(rand.NewSource(seed + int64(i))),
-		}))
-	}
-	defer func() {
-		for _, stop := range stops {
-			stop()
-		}
-	}()
-
-	// Chaos on, and two nodes cut away from the rest in both directions.
-	island := []string{"t6", "u2"}
-	mainland := []string{"t1", "t2", "t3", "t4", "t5", "u1"}
-	faulty.PartitionBoth("island", island, mainland)
-	faulty.SetConfig(transport.FaultConfig{
-		Seed:     seed,
-		Drop:     0.20,
-		DelayMax: 30 * time.Millisecond,
-		Counters: counters,
+		},
+		Logf: t.Logf,
 	})
-
-	// Hold the partition well past the lease TTL: mainland renewals must
-	// keep u1 alive in the repository even while 20% of frames vanish.
-	time.Sleep(3 * leaseTTL / 2)
-	if err := nodes["u1"].RebindContext(ctx, ""); err != nil {
-		t.Fatalf("rebind under chaos: %v", err)
+	if err != nil {
+		t.Fatal(err)
 	}
-	faulty.Heal("island")
+	defer c.Shutdown()
+
+	must := func(what string, d time.Duration, op func() error) {
+		t.Helper()
+		if err := harness.Eventually(d, op); err != nil {
+			t.Fatalf("%s: still failing at deadline: %v", what, err)
+		}
+	}
+	must("u1 publish", 20*time.Second, func() error { return c.Publish("u1") })
+	must("u2 publish", 20*time.Second, func() error { return c.Publish("u2") })
+
+	// Two nodes cut away from the rest in both directions, held well past
+	// the lease TTL: mainland renewals must keep u1 alive in the
+	// repository even while 20% of frames vanish.
+	if err := c.Partition("island", island, mainland); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * leaseTTL / 2)
+	must("u1 move under chaos", 20*time.Second, func() error { return c.Move("u1") })
+	if err := c.Heal("island"); err != nil {
+		t.Fatal(err)
+	}
 	time.Sleep(leaseTTL)
 
 	// Every mobile stays discoverable — including the healed u2, whose
 	// lease may have lapsed during isolation until its renewal loop
 	// republished it. Still under 20% loss; retries absorb the noise.
-	resolve := func(from *live.Node, target *live.Node) {
+	discoverFresh := func(from, target string) {
 		t.Helper()
-		deadline := time.Now().Add(15 * time.Second)
-		for {
-			addr, err := from.DiscoverContext(ctx, target.Key())
-			if err == nil && addr == target.Addr() {
-				return
+		must(from+" discover "+target, 15*time.Second, func() error {
+			addr, err := c.Node(from).Discover(c.Key(target))
+			if err != nil {
+				return err
 			}
-			if time.Now().After(deadline) {
-				t.Fatalf("discover %v from %v: addr=%q err=%v", target.Key(), from.Key(), addr, err)
+			if addr != c.Addr(target) {
+				return fmt.Errorf("stale %q, current %q", addr, c.Addr(target))
 			}
-			time.Sleep(25 * time.Millisecond)
-		}
+			return nil
+		})
 	}
 	for _, probe := range []string{"t1", "t6"} {
-		for _, m := range mobiles {
-			resolve(nodes[probe], nodes[m])
+		for _, m := range []string{"u1", "u2"} {
+			discoverFresh(probe, m)
 		}
 	}
 
 	// A record that stops being renewed must still expire: the lease
 	// mechanism is alive, not just never-expiring storage.
-	u1 := nodes["u1"]
-	stops[6]() // u1's maintenance (index 6 in all = first mobile)
-	stops[6] = func() {}
-	u1key := u1.Key()
-	expired := func() bool {
-		_, err := nodes["t2"].DiscoverContext(ctx, u1key)
-		return errors.Is(err, live.ErrNotFound)
-	}
-	expiry := time.Now().Add(15 * time.Second)
-	for !expired() {
-		if time.Now().After(expiry) {
-			t.Fatal("lease never expired after renewal stopped")
+	c.StopMaintenance("u1")
+	must("u1 lease expiry after renewal stopped", 15*time.Second, func() error {
+		_, err := c.Node("t2").Discover(c.Key("u1"))
+		if errors.Is(err, live.ErrNotFound) {
+			return nil
 		}
-		time.Sleep(100 * time.Millisecond)
-	}
+		return fmt.Errorf("u1 still resolvable (err=%v)", err)
+	})
 
-	if counters.Get("fault.drop") == 0 {
+	if c.Counters.Get("fault.drop") == 0 {
 		t.Error("chaos vacuous: no frames dropped")
 	}
-	if counters.Get("rpc.retries") == 0 {
+	if c.Counters.Get("rpc.retries") == 0 {
 		t.Error("no retries recorded under 20% loss")
 	}
 	// The whole run rode the multiplexed pool: sessions were dialed, and
 	// every fault above was injected on long-lived pooled connections.
-	if counters.Get("pool.dials") == 0 {
+	if c.Counters.Get("pool.dials") == 0 {
 		t.Error("no pooled sessions dialed: chaos run did not exercise the pool")
 	}
 }
@@ -182,114 +125,58 @@ func TestLiveRingLeasesRefreshUnderChaos(t *testing.T) {
 // the cached lease without any new discovery.
 func TestResolveCoalescesUnderChaos(t *testing.T) {
 	const seed = 4321
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-	defer cancel()
-	counters := metrics.NewCounters()
-	faulty := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{Seed: seed})
+	c, err := harness.New(harness.Config{
+		Seed:        seed,
+		Stationary:  []string{"a1", "a2", "a3"},
+		Mobile:      []string{"mob"},
+		LeaseTTL:    30 * time.Second,
+		Replication: 2,
+		Faults:      transport.FaultConfig{Drop: 0.10, DelayMax: 10 * time.Millisecond},
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
 
-	names := []string{"a1", "a2", "a3", "mob"}
-	nodes := make(map[string]*live.Node, len(names))
-	var all []*live.Node
-	for _, name := range names {
-		nd := live.NewNode(live.Config{
-			Name:           name,
-			Capacity:       4,
-			Mobile:         name == "mob",
-			Replication:    2,
-			LeaseTTL:       30 * time.Second,
-			RequestTimeout: 250 * time.Millisecond,
-			RetryAttempts:  5,
-			RetryBase:      5 * time.Millisecond,
-			RetryMax:       40 * time.Millisecond,
-			Counters:       counters,
-		}, faulty.Endpoint(name))
-		if err := nd.Start(""); err != nil {
-			t.Fatalf("start %s: %v", name, err)
-		}
-		nodes[name] = nd
-		all = append(all, nd)
-	}
-	defer func() {
-		for _, nd := range all {
-			nd.Close()
-		}
-	}()
-	for _, nd := range all[1:] {
-		if err := nd.JoinViaContext(ctx, all[0].Addr()); err != nil {
-			t.Fatalf("join: %v", err)
-		}
-	}
-	rng := rand.New(rand.NewSource(seed))
-	for round := 0; round < 4; round++ {
-		for _, nd := range all {
-			if _, err := nd.GossipOnce(rng); err != nil {
-				t.Fatalf("gossip: %v", err)
-			}
-		}
-	}
-	mob := nodes["mob"]
-	if err := mob.PublishContext(ctx); err != nil {
+	if err := harness.Eventually(20*time.Second, func() error { return c.Publish("mob") }); err != nil {
 		t.Fatalf("publish: %v", err)
 	}
-
-	faulty.SetConfig(transport.FaultConfig{
-		Seed:     seed,
-		Drop:     0.10,
-		DelayMax: 10 * time.Millisecond,
-		Counters: counters,
-	})
 
 	// Background traffic keeps the chaos non-vacuous: a single coalesced
 	// discovery alone exchanges too few frames to be guaranteed a drop.
 	for i := 0; i < 60; i++ {
-		_ = nodes["a2"].PingContext(ctx, nodes["a3"].Addr())
+		_ = c.Node("a2").Ping(c.Addr("a3"))
 	}
 
 	// Storm: 32 resolvers on one key through a node that has never seen
 	// it. Retries absorb the loss; the singleflight absorbs the fan-in.
-	resolver := nodes["a1"]
 	const stormers = 32
-	var wg sync.WaitGroup
-	errsCh := make(chan error, stormers)
-	for i := 0; i < stormers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			addr, err := resolver.ResolveContext(ctx, mob.Key())
-			if err != nil {
-				errsCh <- err
-				return
-			}
-			if addr != mob.Addr() {
-				errsCh <- fmt.Errorf("resolved %s, want %s", addr, mob.Addr())
-			}
-		}()
+	before := c.Counters.Get("resolve.discoveries")
+	storm := harness.Storm{From: "a1", Target: "mob", Resolvers: stormers, Within: 30 * time.Second}
+	if err := storm.Apply(c); err != nil {
+		t.Fatalf("storm: %v", err)
 	}
-	wg.Wait()
-	close(errsCh)
-	for err := range errsCh {
-		t.Errorf("storm resolve: %v", err)
-	}
-
-	discoveries := counters.Get("resolve.discoveries")
+	discoveries := c.Counters.Get("resolve.discoveries") - before
 	if discoveries == 0 || discoveries > stormers/4 {
 		t.Errorf("resolve.discoveries = %d for %d concurrent resolvers; want coalesced to a handful", discoveries, stormers)
 	}
 
 	// Steady state: the lease answers locally; no new discovery happens.
+	hitsBefore := c.Counters.Get("loccache.hit")
 	for i := 0; i < 20; i++ {
-		addr, err := resolver.ResolveContext(ctx, mob.Key())
-		if err != nil || addr != mob.Addr() {
+		addr, err := c.Resolve("a1", "mob")
+		if err != nil || addr != c.Addr("mob") {
 			t.Fatalf("cached resolve %d: %q %v", i, addr, err)
 		}
 	}
-	if after := counters.Get("resolve.discoveries"); after != discoveries {
+	if after := c.Counters.Get("resolve.discoveries") - before; after != discoveries {
 		t.Errorf("steady-state resolves issued %d extra discoveries", after-discoveries)
 	}
-	if counters.Get("loccache.hit") < 20 {
-		t.Errorf("loccache.hit = %d, want at least the 20 steady-state resolves", counters.Get("loccache.hit"))
+	if got := c.Counters.Get("loccache.hit") - hitsBefore; got < 20 {
+		t.Errorf("loccache.hit grew by %d, want at least the 20 steady-state resolves", got)
 	}
-	if counters.Get("fault.drop") == 0 {
+	if c.Counters.Get("fault.drop") == 0 {
 		t.Error("chaos vacuous: no frames dropped")
 	}
 }

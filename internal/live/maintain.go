@@ -30,6 +30,12 @@ type MaintainConfig struct {
 	// RefreshWindow is how far ahead of lease expiry an entry becomes
 	// eligible for refresh. Default 2×RefreshInterval.
 	RefreshWindow time.Duration
+	// RegistrySweepInterval is how often lapsed registrations (registrants
+	// whose lease expired without a renewing re-register) are swept out of
+	// R(self). Zero derives LeaseTTL/2 when a lease is set, else disables
+	// the sweep; the LDT fan-out also sweeps inline, so the periodic sweep
+	// only bounds how long a dead registrant occupies memory.
+	RegistrySweepInterval time.Duration
 	// Rand seeds gossip partner selection; nil uses a time-seeded source.
 	Rand *rand.Rand
 }
@@ -42,6 +48,9 @@ type MaintainConfig struct {
 func (n *Node) StartMaintenance(cfg MaintainConfig) (stop func()) {
 	if cfg.RenewInterval == 0 && n.cfg.LeaseTTL > 0 {
 		cfg.RenewInterval = n.cfg.LeaseTTL / 2
+	}
+	if cfg.RegistrySweepInterval == 0 && n.cfg.LeaseTTL > 0 {
+		cfg.RegistrySweepInterval = n.cfg.LeaseTTL / 2
 	}
 	rng := cfg.Rand
 	if rng == nil {
@@ -99,6 +108,22 @@ func (n *Node) StartMaintenance(cfg MaintainConfig) (stop func()) {
 					return
 				case <-t.C:
 					n.ProbeSuspects()
+				}
+			}
+		}()
+	}
+	if cfg.RegistrySweepInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.RegistrySweepInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					n.SweepRegistry()
 				}
 			}
 		}()

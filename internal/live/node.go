@@ -149,6 +149,20 @@ func (s storedLoc) valid(now time.Time) bool {
 	return s.addr != "" && (!s.hasTTL || now.Before(s.expires))
 }
 
+// registration is one R(self) entry held under its registrant's lease: a
+// registrant that stops renewing its interest (re-registering) lapses out
+// of the LDT fan-out instead of receiving pushes forever. TTLMilli 0
+// registers without a lease.
+type registration struct {
+	entry   wire.Entry
+	expires time.Time
+	hasTTL  bool
+}
+
+func (r registration) live(now time.Time) bool {
+	return !r.hasTTL || now.Before(r.expires)
+}
+
 // listenerState is one network attachment point: the listener plus every
 // connection accepted through it, so closing the attachment also closes
 // the long-lived multiplexed connections remote pools hold against it
@@ -214,8 +228,8 @@ type Node struct {
 	mu       sync.Mutex
 	listener *listenerState
 	addr     string
-	peers    map[hashkey.Key]wire.Entry // known membership (incl. self)
-	registry map[hashkey.Key]wire.Entry // R(self): interested nodes
+	peers    map[hashkey.Key]wire.Entry   // known membership (incl. self)
+	registry map[hashkey.Key]registration // R(self): interested nodes, leased
 	seq      uint32
 	stopped  bool
 
@@ -256,7 +270,7 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 		tr:       tr,
 		peers:    make(map[hashkey.Key]wire.Entry),
 		store:    make(map[hashkey.Key]storedLoc),
-		registry: make(map[hashkey.Key]wire.Entry),
+		registry: make(map[hashkey.Key]registration),
 		breakers: make(map[string]*breaker),
 		rng:      rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
 		updates:  make(chan Update, 64),
@@ -433,8 +447,16 @@ func (n *Node) handle(m *wire.Message) *wire.Message {
 		return n.handleDiscover(m)
 
 	case wire.TRegister:
+		// The registrant's own lease bounds its interest: re-registering
+		// renews it, silence lets it lapse (swept by maintenance and by
+		// the LDT fan-out itself).
+		reg := registration{entry: m.Self}
+		if m.Self.TTLMilli > 0 {
+			reg.hasTTL = true
+			reg.expires = time.Now().Add(time.Duration(m.Self.TTLMilli) * time.Millisecond)
+		}
 		n.mu.Lock()
-		n.registry[m.Self.Key] = m.Self
+		n.registry[m.Self.Key] = reg
 		n.mu.Unlock()
 		n.logf("register from %v (%s)", m.Self.Key, m.Self.Addr)
 		return &wire.Message{Type: wire.TRegisterAck, Seq: m.Seq, Found: true}
@@ -533,7 +555,11 @@ func (n *Node) handleUpdate(m *wire.Message) {
 	n.mu.Unlock()
 	select {
 	case n.updates <- Update{Key: m.Self.Key, Addr: m.Self.Addr}:
-	default: // applications that don't drain updates must not block the tree
+	default:
+		// Applications that don't drain updates must not block the tree —
+		// but the loss has to be observable, not silent.
+		n.count("updates.dropped")
+		n.logf("updates channel full; dropped update for %v (%s)", m.Self.Key, m.Self.Addr)
 	}
 	n.logf("location update: %v now at %s, delegating %d", m.Self.Key, m.Self.Addr, len(m.Entries))
 	// Re-advertise to the delegated subtree (Figure 4 recursion).
@@ -582,16 +608,48 @@ func (n *Node) KnownPeers() []wire.Entry {
 }
 
 // Registry returns R(self): the entries registered as interested in this
-// node's movement.
+// node's movement whose lease has not lapsed.
 func (n *Node) Registry() []wire.Entry {
+	now := time.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make([]wire.Entry, 0, len(n.registry))
-	for _, e := range n.registry {
-		out = append(out, e)
+	for _, r := range n.registry {
+		if r.live(now) {
+			out = append(out, r.entry)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// sweepRegistryLocked drops registrations whose lease lapsed before now,
+// returning how many were removed. Caller holds n.mu.
+func (n *Node) sweepRegistryLocked(now time.Time) int {
+	removed := 0
+	for key, r := range n.registry {
+		if !r.live(now) {
+			delete(n.registry, key)
+			removed++
+		}
+	}
+	return removed
+}
+
+// SweepRegistry drops registrations whose lease has lapsed and returns
+// how many were removed (counted as registry.expired). StartMaintenance
+// calls it periodically; the LDT fan-out also sweeps inline, so the
+// periodic sweep only bounds how long a dead registrant occupies memory.
+func (n *Node) SweepRegistry() int {
+	now := time.Now()
+	n.mu.Lock()
+	removed := n.sweepRegistryLocked(now)
+	n.mu.Unlock()
+	if removed > 0 {
+		n.cfg.Counters.Add("registry.expired", uint64(removed))
+		n.logf("swept %d lapsed registrations", removed)
+	}
+	return removed
 }
 
 // --- client-side operations ---
@@ -814,18 +872,23 @@ func (n *Node) UpdateRegistry() error {
 // registered node through the capacity-aware LDT of Figure 4, contacting
 // the tree's direct children concurrently.
 func (n *Node) UpdateRegistryContext(ctx context.Context) error {
+	now := time.Now()
 	n.mu.Lock()
+	expired := n.sweepRegistryLocked(now) // lapsed registrants miss the push by design
 	members := make([]ldt.Member, 0, len(n.registry))
 	index := make(map[int32]wire.Entry, len(n.registry))
 	i := int32(1)
-	for _, e := range n.registry {
-		members = append(members, ldt.Member{ID: i, Capacity: e.Capacity})
-		index[i] = e
+	for _, r := range n.registry {
+		members = append(members, ldt.Member{ID: i, Capacity: r.entry.Capacity})
+		index[i] = r.entry
 		i++
 	}
 	self := n.selfEntryLocked()
 	rootCap := n.cfg.Capacity
 	n.mu.Unlock()
+	if expired > 0 {
+		n.cfg.Counters.Add("registry.expired", uint64(expired))
+	}
 	if len(members) == 0 {
 		return nil
 	}

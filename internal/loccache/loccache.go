@@ -75,8 +75,8 @@ type Config struct {
 	StaleWindow time.Duration
 	// Clock overrides time.Now, for tests. Nil uses time.Now.
 	Clock func() time.Time
-	// Counters receives loccache.hit/miss/stale/negative/evicted events;
-	// nil disables them.
+	// Counters receives loccache.lookups/hit/miss/stale/negative/evicted
+	// events; nil disables them.
 	Counters *metrics.Counters
 	// Gauges exposes loccache.entries; nil disables it.
 	Gauges *metrics.Gauges
@@ -188,8 +188,11 @@ func (c *Cache) count(name string) { c.cfg.Counters.Inc(name) }
 
 // Lookup classifies key and returns its cached address (empty unless
 // Fresh or Stale). A usable hit is promoted to the shard's MRU position
-// and counted (loccache.hit/stale/negative/miss).
+// and counted (loccache.hit/stale/negative/miss). Every call also counts
+// loccache.lookups, so hit+stale+negative+miss == lookups is a checkable
+// conservation invariant (≤ while lookups are in flight, == at rest).
 func (c *Cache) Lookup(key hashkey.Key) (string, State) {
+	c.count("loccache.lookups")
 	now := c.cfg.Clock()
 	s := c.shardOf(key)
 	s.mu.Lock()

@@ -45,6 +45,21 @@ func (c *Counters) Get(name string) uint64 {
 	return c.m[name]
 }
 
+// Sum returns the total of the named counters — the building block of
+// conservation invariants ("these outcomes partition those attempts").
+func (c *Counters) Sum(names ...string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total uint64
+	for _, name := range names {
+		total += c.m[name]
+	}
+	return total
+}
+
 // Snapshot copies every counter, for iteration without holding the lock.
 func (c *Counters) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64)

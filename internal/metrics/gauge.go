@@ -66,6 +66,18 @@ func (g *Gauges) Snapshot() map[string]int64 {
 	return out
 }
 
+// NonZero returns the gauges currently holding a non-zero value — the
+// shape a shutdown invariant wants ("every level returned to zero").
+func (g *Gauges) NonZero() map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range g.Snapshot() {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
 // String renders the gauges as "name=value" pairs in sorted order.
 func (g *Gauges) String() string {
 	snap := g.Snapshot()

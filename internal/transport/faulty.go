@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -160,6 +161,20 @@ func (f *Faulty) Heal(name string) {
 	f.mu.Lock()
 	delete(f.partitions, name)
 	f.mu.Unlock()
+}
+
+// PartitionNames returns the currently installed partitions, sorted — a
+// test harness uses it to assert the network really is whole before
+// checking global invariants.
+func (f *Faulty) PartitionNames() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.partitions))
+	for name := range f.partitions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func toSet(names []string) map[string]bool {
