@@ -14,14 +14,20 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the address-resolution benchmarks (cold discovery vs the
-# lease-aware cache's hot/stale/cold-miss paths) and records the results
-# as BENCH_resolve.json. Override BENCHTIME (e.g. BENCHTIME=2s) for a
-# statistically meaningful local run; the 100x default is a CI smoke.
+# lease-aware cache's hot/stale/cold-miss paths) and the batched-publish
+# benchmarks (RPCs per publish at 1/100/10k owned records), recording the
+# results as BENCH_resolve.json and BENCH_publish.json. Override
+# BENCHTIME (e.g. BENCHTIME=2s) for a statistically meaningful local run;
+# the 100x default is a CI smoke.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkResolve|^BenchmarkDiscover$$' \
 		-benchtime $(BENCHTIME) -benchmem ./internal/live | tee bench_resolve.txt
 	$(GO) run ./cmd/benchjson -in bench_resolve.txt -out BENCH_resolve.json
 	@rm -f bench_resolve.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPublishBatch' \
+		-benchtime $(BENCHTIME) -benchmem ./internal/live | tee bench_publish.txt
+	$(GO) run ./cmd/benchjson -suite publish -in bench_publish.txt -out BENCH_publish.json
+	@rm -f bench_publish.txt
 
 # soak runs randomized seeded mobility/churn scenarios on the scenario
 # harness (internal/harness) under the race detector until the
@@ -33,4 +39,4 @@ soak:
 		-run 'TestSoak$$' -timeout 20m -v ./internal/harness
 
 clean:
-	rm -f bench_resolve.txt BENCH_resolve.json
+	rm -f bench_resolve.txt BENCH_resolve.json bench_publish.txt BENCH_publish.json

@@ -28,16 +28,19 @@ import (
 // benchLine matches one result row, e.g.
 //
 //	BenchmarkResolveHot-8   100   73.38 ns/op   0 B/op   0 allocs/op
+//	BenchmarkPublishBatch10k-8   50   1.2e6 ns/op   3.000 rpcs/op   0 B/op   0 allocs/op
 //
-// The -8 GOMAXPROCS suffix is stripped from the name; the memory columns
-// are optional (absent without -benchmem).
+// The -8 GOMAXPROCS suffix is stripped from the name; the custom
+// rpcs/op metric (b.ReportMetric, printed between ns/op and the memory
+// columns) and the memory columns themselves are optional.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) rpcs/op)?(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
 
 type result struct {
 	Name       string  `json:"name"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	RPCsPerOp  float64 `json:"rpcs_per_op,omitempty"`
 	BPerOp     float64 `json:"b_per_op"`
 	AllocsOp   int64   `json:"allocs_per_op"`
 }
@@ -83,8 +86,11 @@ func main() {
 		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
 		if m[4] != "" {
-			r.BPerOp, _ = strconv.ParseFloat(m[4], 64)
-			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+			r.RPCsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.BPerOp, _ = strconv.ParseFloat(m[5], 64)
+			r.AllocsOp, _ = strconv.ParseInt(m[6], 10, 64)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}

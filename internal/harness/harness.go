@@ -90,6 +90,7 @@ type member struct {
 	drainStop chan struct{}
 	drainDone chan struct{}
 	observed  map[hashkey.Key]string // last pushed address per key, drained from Updates()
+	owned     []hashkey.Key          // resource keys the slot owns; re-applied on restart
 }
 
 func (m *member) current() (*live.Node, bool) {
@@ -109,9 +110,10 @@ type Cluster struct {
 	members    map[string]*member
 	names      []string // stable order: stationary then mobile, as configured
 	partitions map[string][2][]string
-	history    map[hashkey.Key]map[string]bool // every address ever bound for a key
-	watchers   map[string]map[string]bool      // target name → registered watcher names
-	rng        *rand.Rand                      // scripted-choice PRNG (gossip partners, op fills)
+	history    map[hashkey.Key]map[string]int // addr → bind order (1 = first bind); presence = ever bound
+	bindSeq    map[hashkey.Key]int            // per-key bind counter feeding history
+	watchers   map[string]map[string]bool     // target name → registered watcher names
+	rng        *rand.Rand                     // scripted-choice PRNG (gossip partners, op fills)
 
 	baseGoroutines int
 	shutdownOnce   sync.Once
@@ -136,7 +138,8 @@ func New(cfg Config) (*Cluster, error) {
 		Gauges:         metrics.NewGauges(),
 		members:        make(map[string]*member),
 		partitions:     make(map[string][2][]string),
-		history:        make(map[hashkey.Key]map[string]bool),
+		history:        make(map[hashkey.Key]map[string]int),
+		bindSeq:        make(map[hashkey.Key]int),
 		watchers:       make(map[string]map[string]bool),
 		rng:            rand.New(rand.NewSource(cfg.Seed)),
 		baseGoroutines: runtime.NumGoroutine(),
@@ -239,7 +242,13 @@ func (c *Cluster) boot(name, listenAddr string) error {
 	m.alive = true
 	m.drainStop = make(chan struct{})
 	m.drainDone = make(chan struct{})
+	owned := append([]hashkey.Key(nil), m.owned...)
 	m.mu.Unlock()
+	// Ownership survives a reboot: the machine still hosts its resources,
+	// it just has to republish their records (Restart does, via Publish).
+	if len(owned) > 0 {
+		nd.OwnKeys(owned...)
+	}
 	c.recordAddr(nd.Key(), nd.Addr())
 	go drainUpdates(m, nd, m.drainStop, m.drainDone)
 	return nil
@@ -296,15 +305,33 @@ func (c *Cluster) gossipUntilFull() error {
 	return errors.New("harness: membership never converged during bootstrap")
 }
 
+// recordAddr records addr as the newest binding for key, stamping it
+// with the key's next bind-order number. Re-binding a known address (a
+// Restart reoccupying its machine) refreshes its order: the checkers ask
+// "how recent is this answer", not "when was it first seen".
 func (c *Cluster) recordAddr(key hashkey.Key, addr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	set, ok := c.history[key]
 	if !ok {
-		set = make(map[string]bool)
+		set = make(map[string]int)
 		c.history[key] = set
 	}
-	set[addr] = true
+	c.bindSeq[key]++
+	set[addr] = c.bindSeq[key]
+}
+
+// recordBindings records m's current address for its ring key and every
+// key it owns — the post-publish/post-move bookkeeping that keeps
+// EverBound and BindOrder truthful for batched multi-record publishes.
+func (c *Cluster) recordBindings(m *member, nd *live.Node) {
+	c.recordAddr(nd.Key(), nd.Addr())
+	m.mu.Lock()
+	owned := append([]hashkey.Key(nil), m.owned...)
+	m.mu.Unlock()
+	for _, k := range owned {
+		c.recordAddr(k, nd.Addr())
+	}
 }
 
 // --- accessors ---
@@ -390,13 +417,37 @@ func (c *Cluster) Published(name string) bool {
 	return m.published
 }
 
+// Owned returns the resource keys name owns (a copy, in the order they
+// were added).
+func (c *Cluster) Owned(name string) []hashkey.Key {
+	m := c.members[name]
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]hashkey.Key(nil), m.owned...)
+}
+
 // EverBound reports whether addr was ever a valid address for key — the
 // resolvability invariant uses it to tell "stale within lease" (allowed
 // transiently) from "never correct" (an immediate failure).
 func (c *Cluster) EverBound(key hashkey.Key, addr string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.history[key][addr]
+	_, ok := c.history[key][addr]
+	return ok
+}
+
+// BindOrder returns addr's position in key's bind history (1 = first
+// bind, higher = more recent) and whether addr was ever bound at all.
+// The no-resurrection invariant compares these orders: once a node has
+// learned bind #n it must never be walked back to #m < n.
+func (c *Cluster) BindOrder(key hashkey.Key, addr string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq, ok := c.history[key][addr]
+	return seq, ok
 }
 
 // Observed returns the last address watcher was told target moved to
@@ -455,6 +506,26 @@ func (c *Cluster) Publish(name string) error {
 	m.mu.Lock()
 	m.published = true
 	m.mu.Unlock()
+	c.recordBindings(m, nd)
+	return nil
+}
+
+// OwnKeys adds resource keys to name's owned set: from the next Publish
+// or Move on, the node's batched publish carries one record per owned
+// key alongside its own, all bound to its current address. Ownership is
+// slot state — it survives crash/restart.
+func (c *Cluster) OwnKeys(name string, keys ...hashkey.Key) error {
+	m := c.members[name]
+	if m == nil {
+		return fmt.Errorf("harness: own: unknown node %s", name)
+	}
+	m.mu.Lock()
+	m.owned = append(m.owned, keys...)
+	nd, alive := m.node, m.alive
+	m.mu.Unlock()
+	if alive {
+		nd.OwnKeys(keys...)
+	}
 	return nil
 }
 
@@ -479,7 +550,7 @@ func (c *Cluster) Move(name string) error {
 		m.published = true
 	}
 	m.mu.Unlock()
-	c.recordAddr(nd.Key(), nd.Addr())
+	c.recordBindings(m, nd)
 	if err != nil {
 		return fmt.Errorf("harness: move %s: %w", name, err)
 	}

@@ -1,12 +1,14 @@
 package harness_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"bristle/internal/harness"
+	"bristle/internal/hashkey"
 	"bristle/internal/live"
 	"bristle/internal/transport"
 )
@@ -31,6 +33,8 @@ func TestScenarios(t *testing.T) {
 		flashCrowdResolveStorm(),
 		partitionDuringRebind(),
 		registryUnderMoverCrash(),
+		batchedMoverManyKeys(),
+		rapidMovesUnderDuplication(),
 	}
 	for _, sc := range scenarios {
 		sc := sc
@@ -180,6 +184,118 @@ func registryUnderMoverCrash() harness.Scenario {
 			},
 		}),
 		Quiesce: 200 * time.Millisecond,
+	}
+}
+
+// batchedMoverManyKeys gives one mobile node a thousand owned resource
+// keys and moves it twice: every record must follow the mover (sampled
+// via late binding from other nodes), and the batched publish must keep
+// the RPC bill O(replica groups) — a small fraction of the record count
+// — rather than O(keys).
+func batchedMoverManyKeys() harness.Scenario {
+	const ownedKeys = 1000
+	keys := make([]hashkey.Key, ownedKeys)
+	for i := range keys {
+		keys[i] = hashkey.FromName(fmt.Sprintf("res-%d", i))
+	}
+	// Sample a spread of owned keys for the quiescence resolve check.
+	sample := []hashkey.Key{keys[0], keys[1], keys[250], keys[500], keys[999]}
+	return harness.Scenario{
+		Name: "batched-mover-many-keys",
+		Cluster: harness.Config{
+			Seed:        505,
+			Stationary:  []string{"s1", "s2", "s3"},
+			Mobile:      []string{"m1"},
+			LeaseTTL:    2 * time.Second,
+			Replication: 2,
+			Faults:      transport.FaultConfig{Drop: 0.05, DelayMax: 10 * time.Millisecond},
+			Maintain:    maintain(),
+		},
+		Ops: []harness.Op{
+			harness.Own{Node: "m1", Keys: keys},
+			harness.Publish{Node: "m1"},
+			harness.Register{Watcher: "s1", Target: "m1"},
+			harness.Move{Node: "m1"},
+			harness.Move{Node: "m1"},
+			harness.Resolve{From: "s2", Target: "m1", Within: 10 * time.Second},
+		},
+		Checkers: append(harness.DefaultCheckers(),
+			&harness.NoResurrection{},
+			harness.CheckFunc{
+				Label: "owned-records-follow-the-mover",
+				Quiesce: func(c *harness.Cluster) error {
+					for _, key := range sample {
+						key := key
+						err := harness.Eventually(15*time.Second, func() error {
+							addr, err := c.Node("s3").DiscoverContext(context.Background(), key)
+							if err != nil {
+								return err
+							}
+							if want := c.Addr("m1"); addr != want {
+								return fmt.Errorf("owned key %v resolves to %q, mover is at %q", key, addr, want)
+							}
+							return nil
+						})
+						if err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			},
+			harness.CheckFunc{
+				Label: "publish-rpcs-stay-o-replicas",
+				Quiesce: func(c *harness.Cluster) error {
+					rpcs := c.Counters.Get("publish.rpcs")
+					records := c.Counters.Get("publish.records")
+					if rpcs == 0 || records == 0 {
+						return fmt.Errorf("no batched publish traffic recorded (rpcs=%d records=%d)", rpcs, records)
+					}
+					// Each full publish moves ~1000 records in ~replication
+					// chunk sends; renewals repeat the same shape. Anything
+					// within an order of magnitude of one-RPC-per-record
+					// means batching is broken.
+					if rpcs*50 > records {
+						return fmt.Errorf("publish.rpcs %d vs publish.records %d: not batched", rpcs, records)
+					}
+					return nil
+				},
+			}),
+		Quiesce: 200 * time.Millisecond,
+	}
+}
+
+// rapidMovesUnderDuplication is the stale-resurrection regression story:
+// a mobile node hops A→B→C→D with no settling while every frame may be
+// duplicated and delayed (never dropped), so old-address updates keep
+// arriving after new ones. The NoResurrection checker asserts no cache
+// and no watcher is ever walked backwards to an earlier binding.
+func rapidMovesUnderDuplication() harness.Scenario {
+	return harness.Scenario{
+		Name: "rapid-moves-under-duplication",
+		Cluster: harness.Config{
+			Seed:        606,
+			Stationary:  []string{"s1", "s2", "s3"},
+			Mobile:      []string{"m1"},
+			LeaseTTL:    2 * time.Second,
+			Replication: 2,
+			Faults:      transport.FaultConfig{Duplicate: 0.35, DelayMax: 15 * time.Millisecond},
+			Maintain:    maintain(),
+		},
+		Ops: []harness.Op{
+			harness.Publish{Node: "m1"},
+			harness.Register{Watcher: "s1", Target: "m1"},
+			harness.Register{Watcher: "s2", Target: "m1"},
+			harness.Move{Node: "m1"},
+			harness.Move{Node: "m1"},
+			harness.Move{Node: "m1"},
+			harness.Resolve{From: "s3", Target: "m1", Within: 10 * time.Second},
+			harness.Move{Node: "m1"},
+			harness.Settle{For: 300 * time.Millisecond},
+			harness.Resolve{From: "s1", Target: "m1", Within: 10 * time.Second},
+		},
+		Checkers: append(harness.DefaultCheckers(), &harness.NoResurrection{}),
+		Quiesce:  200 * time.Millisecond,
 	}
 }
 

@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
+
+	"bristle/internal/hashkey"
 )
 
 // Checker is one pluggable invariant. AfterStep runs after every applied
@@ -168,8 +171,10 @@ func (u *UpdateDelivery) AtQuiescence(c *Cluster) error {
 
 // CounterConservation asserts the metrics tell a consistent story:
 // every cache lookup is classified as exactly one of hit/stale/negative/
-// miss (≤ while lookups are in flight, == once the world is at rest),
-// and the pool gauges return to zero after Close.
+// miss, every publish-ingested record as accepted or stale-rejected, and
+// every received update as applied or stale-rejected (≤ while work is in
+// flight, == once the world is at rest). The pool gauges must return to
+// zero after Close.
 type CounterConservation struct{ NopChecker }
 
 func (CounterConservation) Name() string { return "counter-conservation" }
@@ -178,23 +183,40 @@ func outcomeSum(c *Cluster) uint64 {
 	return c.Counters.Sum("loccache.hit", "loccache.stale", "loccache.negative", "loccache.miss")
 }
 
-func (CounterConservation) AfterStep(c *Cluster, op Op) error {
-	// The outcome counter bumps strictly after the lookup counter inside
-	// one Lookup call, so outcomes can only lag lookups, never lead.
-	if sum, lookups := outcomeSum(c), c.Counters.Get("loccache.lookups"); sum > lookups {
-		return fmt.Errorf("lookup outcomes %d exceed lookups %d", sum, lookups)
+// conservationLaws are the "every input is classified exactly once"
+// pairs: the classified sum may lag its input counter mid-flight (the
+// input bumps first inside one handler) but can never lead it, and the
+// two meet once the world is at rest.
+func conservationLaws(c *Cluster, atRest bool) error {
+	laws := []struct {
+		input    string
+		outcomes []string
+	}{
+		{"loccache.lookups", []string{"loccache.hit", "loccache.stale", "loccache.negative", "loccache.miss"}},
+		{"publish.records", []string{"publish.accepted", "publish.stale_rejected"}},
+		{"updates.received", []string{"updates.applied", "updates.stale_rejected"}},
+	}
+	for _, law := range laws {
+		sum, in := c.Counters.Sum(law.outcomes...), c.Counters.Get(law.input)
+		if sum > in {
+			return fmt.Errorf("outcomes of %s sum to %d, exceeding the %d inputs", law.input, sum, in)
+		}
+		if atRest && sum != in {
+			return fmt.Errorf("outcomes of %s sum to %d != %d inputs at rest", law.input, sum, in)
+		}
 	}
 	return nil
 }
 
+func (CounterConservation) AfterStep(c *Cluster, op Op) error {
+	return conservationLaws(c, false)
+}
+
 func (CounterConservation) AfterShutdown(c *Cluster) error {
-	// Detached refresh flights may still be finishing their last lookup;
+	// Detached refresh flights and duplicated frames may still be landing;
 	// retry briefly before declaring the books unbalanced.
 	err := Eventually(5*time.Second, func() error {
-		if sum, lookups := outcomeSum(c), c.Counters.Get("loccache.lookups"); sum != lookups {
-			return fmt.Errorf("lookup outcomes %d != lookups %d at rest", sum, lookups)
-		}
-		return nil
+		return conservationLaws(c, true)
 	})
 	if err != nil {
 		return err
@@ -203,6 +225,79 @@ func (CounterConservation) AfterShutdown(c *Cluster) error {
 		if v := c.Gauges.Get(g); v != 0 {
 			return fmt.Errorf("gauge %s = %d after shutdown, want 0 (non-zero: %v)", g, v, c.Gauges.NonZero())
 		}
+	}
+	return nil
+}
+
+// NoResurrection asserts the epoch ordering the update paths enforce:
+// once any node has learned a mobile target's bind #n (through a pushed
+// update or a cached discovery), no later observation at that node may
+// regress to bind #m < n — a duplicated or delayed frame must never
+// resurrect a dead address. It probes only local state (the resolve
+// cache and the drained update stream), so probing is itself free of
+// network side effects and safe to run after every step while frames
+// are still in flight — which is exactly when a resurrection would slip
+// through.
+//
+// The invariant is sound because both sinks keep epoch memory: the
+// location cache rejects older-epoch writes even for entries past their
+// lease (expiry hides an entry, it does not forget its epoch), and
+// handleUpdate tracks the newest epoch seen per subject for the node's
+// lifetime.
+type NoResurrection struct {
+	NopChecker
+	mu   sync.Mutex
+	seen map[string]int // observation point → highest bind order seen
+}
+
+func (r *NoResurrection) Name() string { return "no-resurrection" }
+
+func (r *NoResurrection) AfterStep(c *Cluster, op Op) error { return r.probe(c) }
+func (r *NoResurrection) AtQuiescence(c *Cluster) error     { return r.probe(c) }
+
+func (r *NoResurrection) probe(c *Cluster) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen == nil {
+		r.seen = make(map[string]int)
+	}
+	for _, target := range c.Names() {
+		if !c.Mobile(target) || !c.Published(target) {
+			continue
+		}
+		key := c.Key(target)
+		for _, from := range c.LiveNames() {
+			if from == target {
+				continue
+			}
+			if addr, ok := c.Node(from).CachedAddr(key); ok {
+				if err := r.observe(c, "cache "+from, target, key, addr); err != nil {
+					return err
+				}
+			}
+			if addr := c.Observed(from, target); addr != "" {
+				if err := r.observe(c, "push "+from, target, key, addr); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// observe folds one sighting of target at addr into the monotone record
+// for the observation point, failing on any walk backwards.
+func (r *NoResurrection) observe(c *Cluster, point, target string, key hashkey.Key, addr string) error {
+	order, bound := c.BindOrder(key, addr)
+	if !bound {
+		return fmt.Errorf("%s holds %q for %s: never a bound address", point, addr, target)
+	}
+	id := point + "|" + target
+	if prev := r.seen[id]; order < prev {
+		return fmt.Errorf("%s resurrected %s's bind #%d (%q) after seeing bind #%d",
+			point, target, order, addr, prev)
+	} else if order > prev {
+		r.seen[id] = order
 	}
 	return nil
 }

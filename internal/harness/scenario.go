@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"bristle/internal/hashkey"
 )
 
 // Op is one typed scenario step. Ops are applied sequentially by Run;
@@ -28,6 +30,16 @@ type Move struct{ Node string }
 
 func (o Move) Apply(c *Cluster) error { return c.Move(o.Node) }
 func (o Move) String() string         { return "move " + o.Node }
+
+// Own adds resource keys to Node's owned set: subsequent publishes and
+// moves carry one record per owned key in the node's publish batch.
+type Own struct {
+	Node string
+	Keys []hashkey.Key
+}
+
+func (o Own) Apply(c *Cluster) error { return c.OwnKeys(o.Node, o.Keys...) }
+func (o Own) String() string         { return fmt.Sprintf("own %s ×%d", o.Node, len(o.Keys)) }
 
 // Crash kills a node; its address goes dark until Restart.
 type Crash struct{ Node string }

@@ -15,10 +15,12 @@ package live
 // BENCH_resolve.json for cross-PR comparison.
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
 	"bristle/internal/hashkey"
+	"bristle/internal/metrics"
 	"bristle/internal/transport"
 	"bristle/internal/wire"
 )
@@ -228,3 +230,62 @@ func BenchmarkResolveColdMiss(b *testing.B) {
 		}
 	}
 }
+
+// benchPublishCluster starts three stationary replicas plus one mobile
+// publisher that owns ownedKeys resource records beyond its identity key.
+func benchPublishCluster(b *testing.B, ownedKeys int) (*Node, *metrics.Counters) {
+	b.Helper()
+	counters := metrics.NewCounters()
+	mem := transport.NewMem()
+	var servers []*Node
+	for _, name := range []string{"bench-r1", "bench-r2", "bench-r3"} {
+		nd := NewNode(Config{Name: name, Capacity: 4, RetryAttempts: 1}, mem)
+		if err := nd.Start(""); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { nd.Close() })
+		servers = append(servers, nd)
+	}
+	pub := NewNode(Config{Name: "bench-pub", Capacity: 2, Mobile: true, RetryAttempts: 1, Counters: counters}, mem)
+	if err := pub.Start(""); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pub.Close() })
+	for _, nd := range append(servers[1:], pub) {
+		if err := nd.JoinVia(servers[0].Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys := make([]hashkey.Key, ownedKeys)
+	for i := range keys {
+		keys[i] = hashkey.FromName(fmt.Sprintf("bench-obj-%d", i))
+	}
+	pub.OwnKeys(keys...)
+	return pub, counters
+}
+
+// benchmarkPublishBatch measures one full publication of the publisher's
+// record set (1, 100, or 10k records) and reports the measured RPC count
+// per publish — the tentpole's O(replicas) claim as a recorded metric:
+// rpcs/op must stay ~constant (≤ one frame chunk per distinct replica
+// address) while records/op grows 10000×. `make bench` records these in
+// BENCH_publish.json.
+func benchmarkPublishBatch(b *testing.B, ownedKeys int) {
+	pub, counters := benchPublishCluster(b, ownedKeys)
+	ctx := context.Background()
+	before := counters.Get("publish.rpcs")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.PublishContext(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rpcs := counters.Get("publish.rpcs") - before
+	b.ReportMetric(float64(rpcs)/float64(b.N), "rpcs/op")
+}
+
+func BenchmarkPublishBatch1(b *testing.B)   { benchmarkPublishBatch(b, 0) }
+func BenchmarkPublishBatch100(b *testing.B) { benchmarkPublishBatch(b, 99) }
+func BenchmarkPublishBatch10k(b *testing.B) { benchmarkPublishBatch(b, 9999) }

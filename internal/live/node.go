@@ -31,7 +31,6 @@ import (
 	"time"
 
 	"bristle/internal/hashkey"
-	"bristle/internal/ldt"
 	"bristle/internal/loccache"
 	"bristle/internal/metrics"
 	"bristle/internal/transport"
@@ -143,6 +142,7 @@ type storedLoc struct {
 	addr    string
 	expires time.Time
 	hasTTL  bool
+	epoch   uint64 // publisher's move counter; newest-epoch-wins
 }
 
 func (s storedLoc) valid(now time.Time) bool {
@@ -233,6 +233,22 @@ type Node struct {
 	seq      uint32
 	stopped  bool
 
+	// epoch is this node's publish ordering: every frame that asserts
+	// "key K is at address A" carries the epoch A was bound under, and
+	// receivers apply newest-epoch-wins. Bumped by every rebind; seeded
+	// from the wall clock so a restarted node (fresh process, same name)
+	// still outranks its pre-crash publications.
+	epoch uint64
+	// owned is the set of resource keys published at this node's address
+	// beyond its own identity key — the records a move must re-home. All
+	// of them ride one TPublishBatch per owner replica.
+	owned map[hashkey.Key]struct{}
+	// seenUpdates tracks, per subject, the newest epoch this node has
+	// ingested through TUpdate — the guard that keeps a delayed or
+	// duplicated push from regressing the cache/peers to a pre-move
+	// address.
+	seenUpdates map[hashkey.Key]uint64
+
 	// store is the location *repository* fragment this node holds as an
 	// owner/replica of other nodes' keys: written only by TPublish (their
 	// publications), read only to answer TDiscover. It is the thing the
@@ -257,6 +273,15 @@ type Node struct {
 
 	wg      sync.WaitGroup
 	updates chan Update
+
+	// runCtx is the node's lifecycle context: canceled by Close, it bounds
+	// every background send the node originates on its own behalf (LDT
+	// re-advertisement, the update flusher) so shutdown never stalls on
+	// in-flight fan-out.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	updq      *updateQueue // coalescing LDT push queue (advertise.go)
+	flusherOn bool         // under mu: update flusher goroutine started
 }
 
 // NewNode creates a stopped node. Call Start to begin serving. (New in
@@ -265,16 +290,21 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 	cfg = cfg.withDefaults()
 	key := hashkey.FromName(cfg.Name)
 	n := &Node{
-		cfg:      cfg,
-		key:      key,
-		tr:       tr,
-		peers:    make(map[hashkey.Key]wire.Entry),
-		store:    make(map[hashkey.Key]storedLoc),
-		registry: make(map[hashkey.Key]registration),
-		breakers: make(map[string]*breaker),
-		rng:      rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
-		updates:  make(chan Update, 64),
+		cfg:         cfg,
+		key:         key,
+		tr:          tr,
+		peers:       make(map[hashkey.Key]wire.Entry),
+		store:       make(map[hashkey.Key]storedLoc),
+		registry:    make(map[hashkey.Key]registration),
+		breakers:    make(map[string]*breaker),
+		rng:         rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
+		updates:     make(chan Update, 64),
+		epoch:       nextEpoch(0),
+		owned:       make(map[hashkey.Key]struct{}),
+		seenUpdates: make(map[hashkey.Key]uint64),
+		updq:        newUpdateQueue(),
 	}
+	n.runCtx, n.runCancel = context.WithCancel(context.Background())
 	if !cfg.Pool.Disabled {
 		n.pool = newPool(tr, cfg.Pool, cfg.Counters, cfg.Gauges)
 	}
@@ -341,6 +371,8 @@ func (n *Node) Close() error {
 	ls := n.listener
 	n.mu.Unlock()
 	n.closed.Store(true) // stop launching background refreshes
+	n.runCancel()        // abort in-flight LDT fan-out and flusher sends
+	n.updq.close()       // unblock enqueue waiters; the flusher drains out
 	if n.pool != nil {
 		n.pool.Close()
 	}
@@ -358,7 +390,62 @@ func (n *Node) selfEntryLocked() wire.Entry {
 		Capacity: n.cfg.Capacity,
 		TTLMilli: uint32(n.cfg.LeaseTTL / time.Millisecond),
 		Mobile:   n.cfg.Mobile,
+		Epoch:    n.epoch,
 	}
+}
+
+// nextEpoch returns a publish epoch strictly greater than prev. Seeding
+// from the wall clock makes epochs monotonic across process restarts
+// (a rebooted publisher must outrank its own pre-crash records at
+// replicas that survived it); the prev+1 arm keeps them monotonic even
+// against a clock that stands still or steps backwards.
+func nextEpoch(prev uint64) uint64 {
+	now := uint64(time.Now().UnixNano())
+	if now <= prev {
+		return prev + 1
+	}
+	return now
+}
+
+// Epoch returns the node's current publish epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// OwnKeys adds resource keys to the set this node publishes at its own
+// address: PublishContext re-homes them all (batched per owner replica)
+// and every rebind moves them with the node.
+func (n *Node) OwnKeys(keys ...hashkey.Key) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range keys {
+		n.owned[k] = struct{}{}
+	}
+}
+
+// DisownKeys removes resource keys from the owned set. Already-published
+// records lapse with their lease rather than being withdrawn.
+func (n *Node) DisownKeys(keys ...hashkey.Key) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range keys {
+		delete(n.owned, k)
+	}
+}
+
+// OwnedKeys returns the resource keys currently published at this node's
+// address (beyond its identity key), sorted.
+func (n *Node) OwnedKeys() []hashkey.Key {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]hashkey.Key, 0, len(n.owned))
+	for k := range n.owned {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // SelfEntry returns the node's current state-pair.
@@ -443,6 +530,10 @@ func (n *Node) handle(m *wire.Message) *wire.Message {
 		n.handlePublish(m)
 		return &wire.Message{Type: wire.TPublishAck, Seq: m.Seq, Found: true}
 
+	case wire.TPublishBatch:
+		n.handlePublishBatch(m)
+		return &wire.Message{Type: wire.TPublishAck, Seq: m.Seq, Found: true}
+
 	case wire.TDiscover:
 		return n.handleDiscover(m)
 
@@ -476,25 +567,82 @@ func (n *Node) handle(m *wire.Message) *wire.Message {
 
 func (n *Node) handleJoin(m *wire.Message) *wire.Message {
 	n.mu.Lock()
-	n.peers[m.Self.Key] = m.Self
+	n.updatePeerLocked(m.Self)
 	entries := n.knownEntriesLocked()
 	n.mu.Unlock()
 	n.logf("join from %v (%s)", m.Self.Key, m.Self.Addr)
 	return &wire.Message{Type: wire.TJoinResp, Seq: m.Seq, Found: true, Entries: entries}
 }
 
-func (n *Node) handlePublish(m *wire.Message) {
-	rec := storedLoc{addr: m.Self.Addr}
-	if m.Self.TTLMilli > 0 {
-		rec.hasTTL = true
-		rec.expires = time.Now().Add(time.Duration(m.Self.TTLMilli) * time.Millisecond)
+// applyPublishLocked ingests one published record under newest-epoch-
+// wins: a record whose epoch is older than the live one already stored
+// is the ghost of a pre-move publication (a frame transport.Faulty
+// delayed or duplicated) and must not resurrect the old address. A
+// record whose lease has lapsed no longer outranks anything. Caller
+// holds n.mu; reports whether the record was stored.
+func (n *Node) applyPublishLocked(e wire.Entry, now time.Time) bool {
+	if old, ok := n.store[e.Key]; ok && old.valid(now) && old.epoch > e.Epoch {
+		return false
 	}
+	rec := storedLoc{addr: e.Addr, epoch: e.Epoch}
+	if e.TTLMilli > 0 {
+		rec.hasTTL = true
+		rec.expires = now.Add(time.Duration(e.TTLMilli) * time.Millisecond)
+	}
+	n.store[e.Key] = rec
+	return true
+}
+
+func (n *Node) handlePublish(m *wire.Message) {
 	n.mu.Lock()
-	n.store[m.Self.Key] = rec
-	// A publisher is also a live peer worth knowing about.
-	n.peers[m.Self.Key] = m.Self
+	ok := n.applyPublishLocked(m.Self, time.Now())
+	if ok {
+		// A publisher is also a live peer worth knowing about.
+		n.updatePeerLocked(m.Self)
+	}
 	n.mu.Unlock()
-	n.logf("stored location of %v → %s", m.Self.Key, m.Self.Addr)
+	n.count("publish.records")
+	if ok {
+		n.count("publish.accepted")
+		n.logf("stored location of %v → %s (epoch %d)", m.Self.Key, m.Self.Addr, m.Self.Epoch)
+	} else {
+		n.count("publish.stale_rejected")
+		n.logf("rejected stale publish of %v → %s (epoch %d)", m.Self.Key, m.Self.Addr, m.Self.Epoch)
+	}
+}
+
+// handlePublishBatch ingests a multi-record publish atomically: every
+// record lands (or is rejected as stale) under one hold of the protocol
+// mutex, so a discover served concurrently sees either none or all of
+// the batch — never a half-moved key set.
+func (n *Node) handlePublishBatch(m *wire.Message) {
+	now := time.Now()
+	accepted := 0
+	n.mu.Lock()
+	for _, e := range m.Entries {
+		if n.applyPublishLocked(e, now) {
+			accepted++
+		}
+	}
+	n.updatePeerLocked(m.Self)
+	n.mu.Unlock()
+	n.cfg.Counters.Add("publish.records", uint64(len(m.Entries)))
+	n.cfg.Counters.Add("publish.accepted", uint64(accepted))
+	if rejected := len(m.Entries) - accepted; rejected > 0 {
+		n.cfg.Counters.Add("publish.stale_rejected", uint64(rejected))
+	}
+	n.logf("batch publish from %v: %d records, %d accepted (epoch %d)",
+		m.Self.Key, len(m.Entries), accepted, m.Self.Epoch)
+}
+
+// updatePeerLocked records e in the membership map under newest-epoch-
+// wins: an entry carrying an older epoch than the one already known is
+// out-of-order news and is dropped. Caller holds n.mu.
+func (n *Node) updatePeerLocked(e wire.Entry) {
+	if cur, ok := n.peers[e.Key]; ok && cur.Epoch > e.Epoch {
+		return
+	}
+	n.peers[e.Key] = e
 }
 
 // handleDiscover answers a _discovery from this node's repository
@@ -513,7 +661,7 @@ func (n *Node) handleDiscover(m *wire.Message) *wire.Message {
 	resp := &wire.Message{Type: wire.TDiscoverResp, Seq: m.Seq, Key: m.Key}
 	if ok && rec.valid(time.Now()) {
 		resp.Found = true
-		resp.Self = wire.Entry{Key: m.Key, Addr: rec.addr, TTLMilli: remainingTTLMilli(rec)}
+		resp.Self = wire.Entry{Key: m.Key, Addr: rec.addr, TTLMilli: remainingTTLMilli(rec), Epoch: rec.epoch}
 	}
 	return resp
 }
@@ -544,15 +692,29 @@ func remainingTTLMilli(rec storedLoc) uint32 {
 // replica placement. The write-through shares one source of truth with
 // late-binding discover results.
 func (n *Node) handleUpdate(m *wire.Message) {
-	if n.loc != nil {
-		n.loc.Put(m.Self.Key, m.Self.Addr, time.Duration(m.Self.TTLMilli)*time.Millisecond)
-	}
+	n.count("updates.received")
 	n.mu.Lock()
-	if p, ok := n.peers[m.Self.Key]; ok {
-		p.Addr = m.Self.Addr
-		n.peers[m.Self.Key] = p
+	if seen, ok := n.seenUpdates[m.Self.Key]; ok && seen > m.Self.Epoch {
+		n.mu.Unlock()
+		// An out-of-order push (delayed or duplicated by the network): the
+		// subject has already moved past this address. Applying it would
+		// regress every resolver behind this node's cache — and recursing
+		// would spread the regression down the delegated subtree.
+		n.count("updates.stale_rejected")
+		n.logf("rejected stale update: %v → %s (epoch %d, seen %d)",
+			m.Self.Key, m.Self.Addr, m.Self.Epoch, n.seenEpoch(m.Self.Key))
+		return
 	}
+	n.seenUpdates[m.Self.Key] = m.Self.Epoch
+	n.updatePeerLocked(m.Self)
 	n.mu.Unlock()
+	n.count("updates.applied")
+	if n.loc != nil {
+		// Epoch-aware write-through: belt and braces under the seenUpdates
+		// guard — a concurrent discover fill for the same key races this
+		// write, and the cache's own newest-epoch-wins breaks the tie.
+		n.loc.PutEpoch(m.Self.Key, m.Self.Addr, time.Duration(m.Self.TTLMilli)*time.Millisecond, m.Self.Epoch)
+	}
 	select {
 	case n.updates <- Update{Key: m.Self.Key, Addr: m.Self.Addr}:
 	default:
@@ -562,10 +724,21 @@ func (n *Node) handleUpdate(m *wire.Message) {
 		n.logf("updates channel full; dropped update for %v (%s)", m.Self.Key, m.Self.Addr)
 	}
 	n.logf("location update: %v now at %s, delegating %d", m.Self.Key, m.Self.Addr, len(m.Entries))
-	// Re-advertise to the delegated subtree (Figure 4 recursion).
+	// Re-advertise to the delegated subtree (Figure 4 recursion) through
+	// the coalescing queue: the handler returns immediately, the flusher
+	// sends under the node's lifecycle context — a Close mid-fan-out
+	// aborts the recursion instead of stalling behind it.
 	if len(m.Entries) > 0 {
-		n.advertise(context.Background(), m.Self, m.Entries)
+		n.advertise(m.Self, m.Entries)
 	}
+}
+
+// seenEpoch reads the newest ingested update epoch for key (logging
+// helper). Caller must NOT hold n.mu.
+func (n *Node) seenEpoch(key hashkey.Key) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seenUpdates[key]
 }
 
 func (n *Node) handleLeafExchange(m *wire.Message) *wire.Message {
@@ -578,14 +751,15 @@ func (n *Node) handleLeafExchange(m *wire.Message) *wire.Message {
 	return &wire.Message{Type: wire.TLeafExchange, Seq: m.Seq, Found: true, Entries: entries}
 }
 
-// mergePeerLocked adopts a peer entry unless we already track that key
-// (newer addresses win only through explicit updates/publishes, keeping
-// merge idempotent).
+// mergePeerLocked adopts a gossiped peer entry if the key is unknown or
+// the entry carries a strictly newer epoch (the ordering makes adopting
+// hearsay safe: a newer epoch is a later binding by definition, so merge
+// stays idempotent and can never regress an address).
 func (n *Node) mergePeerLocked(e wire.Entry) {
 	if e.Key == n.key {
 		return
 	}
-	if _, known := n.peers[e.Key]; !known {
+	if cur, known := n.peers[e.Key]; !known || e.Epoch > cur.Epoch {
 		n.peers[e.Key] = e
 	}
 }
@@ -721,25 +895,25 @@ func (n *Node) GossipOnce(rng *rand.Rand) (int, error) {
 	return after - before, nil
 }
 
-// ownersOf returns the k known *stationary* peers closest to key —
-// location records live in the stationary layer only (Section 2.1),
-// replicated for §2.3.2 availability; mobile peers are never owners
-// (their addresses are exactly what's being resolved). Within the replica
-// set, peers whose circuit breaker is open sort last, so publish and
-// discovery fall over across replicas in suspicion-aware order and pay
-// the suspect peers' timeouts only when every healthy replica failed.
-func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
-	n.mu.Lock()
+// stationaryPeersLocked snapshots the known stationary peers — the only
+// legal owners of location records (Section 2.1; mobile peers' addresses
+// are exactly what's being resolved). Caller holds n.mu.
+func (n *Node) stationaryPeersLocked() []wire.Entry {
 	var cands []wire.Entry
 	for _, e := range n.peers {
 		if !e.Mobile {
 			cands = append(cands, e)
 		}
 	}
-	n.mu.Unlock()
-	if len(cands) == 0 {
-		return nil, errors.New("live: no known stationary peers")
-	}
+	return cands
+}
+
+// ownersForKey picks the k candidates closest to key, healthy replicas
+// first (suspect is a pre-sampled breaker snapshot, so a batched publish
+// ranks thousands of keys without re-locking the breaker table per key).
+// cands is re-sorted in place: the returned slice aliases it and must be
+// consumed before the next call.
+func ownersForKey(cands []wire.Entry, suspect map[string]bool, key hashkey.Key, k int) []wire.Entry {
 	sort.Slice(cands, func(i, j int) bool {
 		return hashkey.Closer(key, cands[i].Key, cands[j].Key)
 	})
@@ -748,58 +922,166 @@ func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
 	}
 	owners := cands[:k]
 	sort.SliceStable(owners, func(i, j int) bool {
-		return !n.suspect(owners[i].Addr) && n.suspect(owners[j].Addr)
+		return !suspect[owners[i].Addr] && suspect[owners[j].Addr]
 	})
-	return owners, nil
+	return owners
 }
+
+// suspectSnapshot samples every candidate's breaker once, so replica
+// ordering cannot flap mid-batch.
+func (n *Node) suspectSnapshot(cands []wire.Entry) map[string]bool {
+	suspect := make(map[string]bool, len(cands))
+	for _, e := range cands {
+		if _, ok := suspect[e.Addr]; !ok {
+			suspect[e.Addr] = n.suspect(e.Addr)
+		}
+	}
+	return suspect
+}
+
+// ownersOf returns the k known *stationary* peers closest to key,
+// replicated for §2.3.2 availability. Within the replica set, peers
+// whose circuit breaker is open sort last, so publish and discovery fall
+// over across replicas in suspicion-aware order and pay the suspect
+// peers' timeouts only when every healthy replica failed.
+func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
+	n.mu.Lock()
+	cands := n.stationaryPeersLocked()
+	n.mu.Unlock()
+	if len(cands) == 0 {
+		return nil, errors.New("live: no known stationary peers")
+	}
+	return ownersForKey(cands, n.suspectSnapshot(cands), key, k), nil
+}
+
+// publishBatchMax bounds the records per TPublishBatch frame, keeping a
+// worst-case frame comfortably under wire.MaxFrame.
+const publishBatchMax = 8192
 
 // Publish calls PublishContext with the background context.
 func (n *Node) Publish() error { return n.PublishContext(context.Background()) }
 
-// PublishContext pushes this node's current address to the owners of its
-// key (the paper's location publication, k-replicated), contacting every
-// replica concurrently over pooled connections. It succeeds when at least
-// one replica stored the record.
+// PublishContext pushes this node's current address — and every record
+// in its owned set — to the owners of each key (the paper's location
+// publication, k-replicated). Records are grouped by owner replica so a
+// move re-homes N keys in O(replicas) RPCs, not O(N): each distinct
+// replica address receives one TPublishBatch (chunked at
+// publishBatchMax) ingested atomically on the far side. A node owning
+// nothing beyond its identity key sends the classic single-record
+// TPublish. It succeeds when every record was stored at ≥1 replica.
 func (n *Node) PublishContext(ctx context.Context) error {
-	owners, err := n.ownersOf(n.key, n.cfg.Replication)
-	if err != nil {
-		return err
+	now := time.Now()
+	n.mu.Lock()
+	self := n.selfEntryLocked()
+	records := make([]wire.Entry, 0, 1+len(n.owned))
+	records = append(records, self)
+	for k := range n.owned {
+		records = append(records, wire.Entry{Key: k, Addr: n.addr, TTLMilli: self.TTLMilli, Epoch: n.epoch})
 	}
-	self := n.SelfEntry()
-	results := make(chan error, len(owners))
-	outstanding := 0
-	stored := 0
-	for _, owner := range owners {
-		if owner.Key == n.key {
-			n.handlePublish(&wire.Message{Type: wire.TPublish, Self: self})
-			stored++
-			continue
-		}
-		outstanding++
-		go func(owner wire.Entry) {
-			// Each replica gets its own message: Seq is stamped per
-			// exchange, so concurrent fan-out must not share frames.
-			resp, err := n.request(ctx, owner.Addr, &wire.Message{Type: wire.TPublish, Self: self})
-			switch {
-			case err != nil:
-				results <- fmt.Errorf("live: publish to %s: %w", owner.Addr, err)
-			case resp.Type != wire.TPublishAck:
-				results <- fmt.Errorf("live: unexpected publish response %v", resp.Type)
-			default:
-				results <- nil
+	cands := n.stationaryPeersLocked()
+	n.mu.Unlock()
+	if len(cands) == 0 {
+		return errors.New("live: no known stationary peers")
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Key < records[j].Key })
+	suspect := n.suspectSnapshot(cands)
+
+	// Group every record's replica set by owner address. Self-owned
+	// records (a stationary node can be its own replica) are ingested
+	// locally without a frame.
+	groups := make(map[string][]wire.Entry)
+	var order []string
+	var selfRecs []wire.Entry
+	for _, rec := range records {
+		for _, owner := range ownersForKey(cands, suspect, rec.Key, n.cfg.Replication) {
+			if owner.Key == n.key {
+				selfRecs = append(selfRecs, rec)
+				continue
 			}
-		}(owner)
+			if _, ok := groups[owner.Addr]; !ok {
+				order = append(order, owner.Addr)
+			}
+			groups[owner.Addr] = append(groups[owner.Addr], rec)
+		}
+	}
+
+	stored := make(map[hashkey.Key]int, len(records)) // replicas holding each record
+	if len(selfRecs) > 0 {
+		accepted := 0
+		n.mu.Lock()
+		for _, rec := range selfRecs {
+			if n.applyPublishLocked(rec, now) {
+				accepted++
+				stored[rec.Key]++
+			}
+		}
+		n.mu.Unlock()
+		n.cfg.Counters.Add("publish.records", uint64(len(selfRecs)))
+		n.cfg.Counters.Add("publish.accepted", uint64(accepted))
+		if rej := len(selfRecs) - accepted; rej > 0 {
+			n.cfg.Counters.Add("publish.stale_rejected", uint64(rej))
+		}
+	}
+
+	type chunkResult struct {
+		recs []wire.Entry
+		err  error
+	}
+	results := make(chan chunkResult)
+	outstanding := 0
+	for _, addr := range order {
+		recs := groups[addr]
+		outstanding += (len(recs) + publishBatchMax - 1) / publishBatchMax
+		go func(addr string, recs []wire.Entry) {
+			for start := 0; start < len(recs); start += publishBatchMax {
+				end := start + publishBatchMax
+				if end > len(recs) {
+					end = len(recs)
+				}
+				chunk := recs[start:end]
+				// Each replica gets its own message: Seq is stamped per
+				// exchange, so concurrent fan-out must not share frames.
+				msg := &wire.Message{Type: wire.TPublishBatch, Self: self, Entries: chunk}
+				if len(records) == 1 {
+					// Nothing owned beyond the identity key: keep the
+					// classic single-record publish on the wire.
+					msg = &wire.Message{Type: wire.TPublish, Self: self}
+				}
+				n.count("publish.rpcs")
+				resp, err := n.request(ctx, addr, msg)
+				switch {
+				case err != nil:
+					results <- chunkResult{chunk, fmt.Errorf("live: publish to %s: %w", addr, err)}
+				case resp.Type != wire.TPublishAck:
+					results <- chunkResult{chunk, fmt.Errorf("live: unexpected publish response %v", resp.Type)}
+				default:
+					results <- chunkResult{chunk, nil}
+				}
+			}
+		}(addr, recs)
 	}
 	var lastErr error
 	for i := 0; i < outstanding; i++ {
-		if err := <-results; err != nil {
-			lastErr = err
-		} else {
-			stored++
+		r := <-results
+		if r.err != nil {
+			lastErr = r.err
+			continue
+		}
+		for _, rec := range r.recs {
+			stored[rec.Key]++
 		}
 	}
-	if stored == 0 {
-		return lastErr
+	missing := 0
+	for _, rec := range records {
+		if stored[rec.Key] == 0 {
+			missing++
+		}
+	}
+	if missing > 0 {
+		if lastErr != nil {
+			return fmt.Errorf("live: publish: %d of %d records stored nowhere: %w", missing, len(records), lastErr)
+		}
+		return fmt.Errorf("live: publish: %d of %d records stored nowhere", missing, len(records))
 	}
 	return nil
 }
@@ -848,6 +1130,10 @@ func (n *Node) RebindContext(ctx context.Context, listenAddr string) error {
 	old := n.listener
 	n.listener = ls
 	n.addr = ls.addr()
+	// The new binding supersedes every frame sent for the old one: bump
+	// the epoch before any peer can learn the new address, so a delayed
+	// or duplicated pre-move frame can never displace it anywhere.
+	n.epoch = nextEpoch(n.epoch)
 	n.peers[n.key] = n.selfEntryLocked()
 	n.mu.Unlock()
 	if old != nil {
@@ -863,118 +1149,8 @@ func (n *Node) RebindContext(ctx context.Context, listenAddr string) error {
 	return n.UpdateRegistryContext(ctx)
 }
 
-// UpdateRegistry calls UpdateRegistryContext with the background context.
-func (n *Node) UpdateRegistry() error {
-	return n.UpdateRegistryContext(context.Background())
-}
-
-// UpdateRegistryContext pushes this node's current address to every
-// registered node through the capacity-aware LDT of Figure 4, contacting
-// the tree's direct children concurrently.
-func (n *Node) UpdateRegistryContext(ctx context.Context) error {
-	now := time.Now()
-	n.mu.Lock()
-	expired := n.sweepRegistryLocked(now) // lapsed registrants miss the push by design
-	members := make([]ldt.Member, 0, len(n.registry))
-	index := make(map[int32]wire.Entry, len(n.registry))
-	i := int32(1)
-	for _, r := range n.registry {
-		members = append(members, ldt.Member{ID: i, Capacity: r.entry.Capacity})
-		index[i] = r.entry
-		i++
-	}
-	self := n.selfEntryLocked()
-	rootCap := n.cfg.Capacity
-	n.mu.Unlock()
-	if expired > 0 {
-		n.cfg.Counters.Add("registry.expired", uint64(expired))
-	}
-	if len(members) == 0 {
-		return nil
-	}
-	sort.Slice(members, func(a, b int) bool { return members[a].ID < members[b].ID })
-
-	tree, err := ldt.Build(ldt.Member{ID: 0, Capacity: rootCap}, members, ldt.Params{UnitCost: 1})
-	if err != nil {
-		return err
-	}
-	// Convert the tree's first level into wire delegations: each direct
-	// child receives its whole subtree as entries. A dead delegate is not
-	// an error: its subtree simply misses the push and recovers through
-	// late binding (§2.3.2) — the advertisement is best-effort.
-	var fan sync.WaitGroup
-	for _, child := range tree.Root.Children {
-		entry, ok := index[child.Member.ID]
-		if !ok {
-			continue
-		}
-		delegated := collectSubtree(child, index)
-		fan.Add(1)
-		go func(entry wire.Entry, delegated []wire.Entry) {
-			defer fan.Done()
-			msg := &wire.Message{Type: wire.TUpdate, Self: self, Entries: delegated}
-			if err := n.oneWay(ctx, entry.Addr, msg); err != nil {
-				n.logf("update delegation to %s failed: %v", entry.Addr, err)
-			}
-		}(entry, delegated)
-	}
-	fan.Wait()
-	return nil
-}
-
-// advertise forwards an update to the heads of a delegated subset,
-// re-partitioning by capacity (the receiving node runs Figure 4 on the
-// subset it was handed). The heads are contacted concurrently.
-func (n *Node) advertise(ctx context.Context, subject wire.Entry, delegated []wire.Entry) {
-	if len(delegated) == 0 {
-		return
-	}
-	members := make([]ldt.Member, len(delegated))
-	index := make(map[int32]wire.Entry, len(delegated))
-	for i, e := range delegated {
-		id := int32(i + 1)
-		members[i] = ldt.Member{ID: id, Capacity: e.Capacity}
-		index[id] = e
-	}
-	tree, err := ldt.Build(ldt.Member{ID: 0, Capacity: n.cfg.Capacity}, members, ldt.Params{UnitCost: 1})
-	if err != nil {
-		n.logf("advertise: %v", err)
-		return
-	}
-	var fan sync.WaitGroup
-	for _, child := range tree.Root.Children {
-		entry, ok := index[child.Member.ID]
-		if !ok {
-			continue
-		}
-		sub := collectSubtree(child, index)
-		fan.Add(1)
-		go func(entry wire.Entry, sub []wire.Entry) {
-			defer fan.Done()
-			if err := n.oneWay(ctx, entry.Addr, &wire.Message{Type: wire.TUpdate, Self: subject, Entries: sub}); err != nil {
-				n.logf("advertise to %s: %v", entry.Addr, err)
-			}
-		}(entry, sub)
-	}
-	fan.Wait()
-}
-
-// collectSubtree gathers the wire entries of every node strictly below
-// root in the tree (root itself is the recipient).
-func collectSubtree(root *ldt.Node, index map[int32]wire.Entry) []wire.Entry {
-	var out []wire.Entry
-	var rec func(*ldt.Node)
-	rec = func(t *ldt.Node) {
-		for _, c := range t.Children {
-			if e, ok := index[c.Member.ID]; ok {
-				out = append(out, e)
-			}
-			rec(c)
-		}
-	}
-	rec(root)
-	return out
-}
+// (UpdateRegistry, UpdateRegistryContext, and the recursive advertise
+// live in advertise.go: LDT fan-out through the coalescing update queue.)
 
 // CachedAddr returns this node's cached address for key, if its lease is
 // still fresh. A read-only probe: it neither promotes the entry nor

@@ -119,7 +119,7 @@ func (n *Node) flightDiscover(key hashkey.Key, revalidate bool) (string, error) 
 // of evidence is not evidence of absence.
 func (n *Node) discoverAndFill(ctx context.Context, key hashkey.Key) (string, error) {
 	n.count("resolve.discoveries")
-	addr, ttl, err := n.discoverNetwork(ctx, key)
+	addr, ttl, epoch, err := n.discoverNetwork(ctx, key)
 	switch {
 	case errors.Is(err, ErrNotFound):
 		n.loc.PutNegative(key)
@@ -127,7 +127,11 @@ func (n *Node) discoverAndFill(ctx context.Context, key hashkey.Key) (string, er
 	case err != nil:
 		return "", err
 	}
-	n.loc.Put(key, addr, ttl)
+	// Epoch-aware fill: if an LDT push raced this discovery with a newer
+	// binding, the cache keeps the push and this stale answer is dropped
+	// on the floor (the caller still gets it once; the next resolve hits
+	// the newer cached address).
+	n.loc.PutEpoch(key, addr, ttl, epoch)
 	return addr, nil
 }
 
@@ -176,12 +180,12 @@ func (n *Node) Discover(key hashkey.Key) (string, error) {
 // location cache, so a subsequent ResolveContext answers locally until
 // the lease lapses. Prefer ResolveContext on hot paths.
 func (n *Node) DiscoverContext(ctx context.Context, key hashkey.Key) (string, error) {
-	addr, ttl, err := n.discoverNetwork(ctx, key)
+	addr, ttl, epoch, err := n.discoverNetwork(ctx, key)
 	if err != nil {
 		return "", err
 	}
 	if n.loc != nil {
-		n.loc.Put(key, addr, ttl)
+		n.loc.PutEpoch(key, addr, ttl, epoch)
 	}
 	return addr, nil
 }
@@ -190,12 +194,13 @@ func (n *Node) DiscoverContext(ctx context.Context, key hashkey.Key) (string, er
 // over across them (§2.3.2) in suspicion-aware order. The replicas are
 // tried sequentially on purpose: the common case is answered by the
 // first healthy replica for the cost of one exchange, and the ordering
-// (healthy first) already bounds the tail. Returns the address and the
-// remaining lease the serving replica reported (0 = no lease).
-func (n *Node) discoverNetwork(ctx context.Context, key hashkey.Key) (string, time.Duration, error) {
+// (healthy first) already bounds the tail. Returns the address, the
+// remaining lease the serving replica reported (0 = no lease), and the
+// publish epoch the record was bound under.
+func (n *Node) discoverNetwork(ctx context.Context, key hashkey.Key) (string, time.Duration, uint64, error) {
 	owners, err := n.ownersOf(key, n.cfg.Replication)
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	var lastErr error = ErrNotFound
 	for _, owner := range owners {
@@ -213,10 +218,10 @@ func (n *Node) discoverNetwork(ctx context.Context, key hashkey.Key) (string, ti
 			continue
 		}
 		ttl := time.Duration(resp.Self.TTLMilli) * time.Millisecond
-		return resp.Self.Addr, ttl, nil
+		return resp.Self.Addr, ttl, resp.Self.Epoch, nil
 	}
 	if lastErr != ErrNotFound {
-		return "", 0, lastErr
+		return "", 0, 0, lastErr
 	}
-	return "", 0, ErrNotFound
+	return "", 0, 0, ErrNotFound
 }

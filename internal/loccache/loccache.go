@@ -116,6 +116,7 @@ type entry struct {
 	expires  time.Time
 	hasTTL   bool
 	negative bool
+	epoch    uint64 // publisher's move counter; 0 = unordered
 	lastUsed time.Time
 	elem     *list.Element
 }
@@ -258,6 +259,33 @@ func (c *Cache) Put(key hashkey.Key, addr string, ttl time.Duration) {
 	c.insert(e)
 }
 
+// PutEpoch stores addr for key like Put, but carries the publisher's
+// epoch and applies newest-epoch-wins: if the cached entry is a positive
+// record with a strictly newer epoch, the write is rejected (counted as
+// loccache.epoch_rejected) and the cache keeps the newer address.
+// Reports whether the write was applied. Negative entries and plain Put
+// entries (epoch 0) never outrank an ordered write — absence of an
+// ordering is not evidence of freshness.
+func (c *Cache) PutEpoch(key hashkey.Key, addr string, ttl time.Duration, epoch uint64) bool {
+	now := c.cfg.Clock()
+	e := &entry{key: key, addr: addr, epoch: epoch, lastUsed: now}
+	if ttl > 0 {
+		e.hasTTL = true
+		e.expires = now.Add(ttl)
+	}
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if old, ok := s.m[key]; ok && !old.negative && old.epoch > epoch {
+		s.mu.Unlock()
+		c.count("loccache.epoch_rejected")
+		return false
+	}
+	c.storeLocked(s, e)
+	s.mu.Unlock()
+	c.cfg.Gauges.Add("loccache.entries", 1)
+	return true
+}
+
 // PutNegative records that key currently has no location record, so
 // resolves fail fast for NegativeTTL instead of re-asking the replicas.
 func (c *Cache) PutNegative(key hashkey.Key) {
@@ -273,8 +301,17 @@ func (c *Cache) PutNegative(key hashkey.Key) {
 
 func (c *Cache) insert(e *entry) {
 	s := c.shardOf(e.key)
-	now := e.lastUsed
 	s.mu.Lock()
+	c.storeLocked(s, e)
+	s.mu.Unlock()
+	c.cfg.Gauges.Add("loccache.entries", 1)
+}
+
+// storeLocked replaces any existing entry for e.key with e, evicting if
+// the shard is full. Caller holds s.mu and accounts the +1 entries gauge
+// after unlocking.
+func (c *Cache) storeLocked(s *shard, e *entry) {
+	now := e.lastUsed
 	if old, ok := s.m[e.key]; ok {
 		s.removeLocked(old)
 		c.cfg.Gauges.Add("loccache.entries", -1)
@@ -286,8 +323,6 @@ func (c *Cache) insert(e *entry) {
 	}
 	s.m[e.key] = e
 	e.elem = s.lru.PushFront(e)
-	s.mu.Unlock()
-	c.cfg.Gauges.Add("loccache.entries", 1)
 }
 
 // evictScan bounds how far from the LRU tail eviction searches for an

@@ -241,3 +241,64 @@ func TestShardBoundHolds(t *testing.T) {
 		t.Fatalf("cache grew to %d entries, bound is 64", n)
 	}
 }
+
+// TestPutEpochNewestWins pins the stale-resurrection guard: a write
+// carrying an older epoch than the cached positive entry is rejected
+// (and counted), an equal or newer one replaces it, and unordered Put
+// writes (epoch 0) never outrank an ordered entry through PutEpoch.
+func TestPutEpochNewestWins(t *testing.T) {
+	fc := newFakeClock()
+	ctrs := metrics.NewCounters()
+	c := New(Config{Clock: fc.now, Counters: ctrs})
+	k := hashkey.FromName("mover")
+
+	if !c.PutEpoch(k, "B", time.Minute, 2) {
+		t.Fatal("first ordered write rejected")
+	}
+	// The delayed duplicate of the pre-move frame arrives late.
+	if c.PutEpoch(k, "A", time.Minute, 1) {
+		t.Fatal("older epoch accepted over newer")
+	}
+	if addr, st := c.Peek(k); st != Fresh || addr != "B" {
+		t.Fatalf("after stale write: %q %v, want fresh B", addr, st)
+	}
+	if got := ctrs.Get("loccache.epoch_rejected"); got != 1 {
+		t.Fatalf("epoch_rejected = %d, want 1", got)
+	}
+	// Same epoch re-applies (duplicate of the current frame: harmless).
+	if !c.PutEpoch(k, "B", time.Minute, 2) {
+		t.Fatal("equal epoch rejected")
+	}
+	// A newer move replaces.
+	if !c.PutEpoch(k, "C", time.Minute, 3) {
+		t.Fatal("newer epoch rejected")
+	}
+	if addr, _ := c.Peek(k); addr != "C" {
+		t.Fatalf("newest write lost: %q", addr)
+	}
+	// An unordered write (epoch 0) through PutEpoch loses to an ordered one.
+	if c.PutEpoch(k, "Z", time.Minute, 0) {
+		t.Fatal("unordered write displaced an ordered entry")
+	}
+}
+
+// TestPutEpochReplacesNegativeAndExpired: a negative entry never blocks
+// an ordered positive write, and epoch memory survives the entry going
+// stale (the guard still holds until the entry is actually dropped).
+func TestPutEpochReplacesNegativeAndExpired(t *testing.T) {
+	fc := newFakeClock()
+	c := New(Config{NegativeTTL: time.Second, StaleWindow: 5 * time.Second, Clock: fc.now})
+	k := hashkey.FromName("x")
+
+	c.PutNegative(k)
+	if !c.PutEpoch(k, "A", time.Second, 5) {
+		t.Fatal("ordered write lost to a negative entry")
+	}
+	fc.advance(2 * time.Second) // entry now stale, still present
+	if c.PutEpoch(k, "OLD", time.Second, 4) {
+		t.Fatal("stale entry lost its epoch memory")
+	}
+	if addr, st := c.Peek(k); st != Stale || addr != "A" {
+		t.Fatalf("stale peek: %q %v", addr, st)
+	}
+}

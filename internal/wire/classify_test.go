@@ -59,8 +59,17 @@ func FuzzDecode(f *testing.F) {
 	seeds := []*Message{
 		{Type: TPing},
 		{Type: TDiscover, Key: 42, Seq: 7},
-		{Type: TPublish, Self: Entry{Key: 9, Addr: "10.0.0.1:1", Capacity: 2, TTLMilli: 500, Mobile: true}},
+		{Type: TPublish, Self: Entry{Key: 9, Addr: "10.0.0.1:1", Capacity: 2, TTLMilli: 500, Mobile: true, Epoch: 17}},
 		{Type: TJoinResp, Found: true, Entries: []Entry{{Key: 1, Addr: "a:1"}, {Key: 2, Addr: "b:2"}}},
+		// Batched publish: empty batch, and a mixed-epoch batch (records
+		// written at different moves sharing one frame).
+		{Type: TPublishBatch, Self: Entry{Key: 9, Addr: "10.0.0.1:1", Mobile: true, Epoch: 3}},
+		{Type: TPublishBatch, Self: Entry{Key: 9, Addr: "10.0.0.1:2", Mobile: true, Epoch: 1 << 40}, Entries: []Entry{
+			{Key: 100, Addr: "10.0.0.1:2", TTLMilli: 250, Epoch: 1 << 40},
+			{Key: 101, Addr: "10.0.0.1:1", TTLMilli: 250, Epoch: 3},
+			{Key: 102, Addr: "10.0.0.1:0"},
+		}},
+		{Type: TUpdate, Self: Entry{Key: 8, Addr: "m:3", Epoch: ^uint64(0)}, Entries: []Entry{{Key: 4, Addr: "w:1", Capacity: 1}}},
 	}
 	for _, m := range seeds {
 		frame, err := Encode(m)

@@ -64,7 +64,7 @@ func TestDecodeTruncationsOfManyMessages(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 50; trial++ {
 		m := &Message{
-			Type: MsgType(1 + rng.Intn(12)),
+			Type: MsgType(1 + rng.Intn(13)),
 			Key:  12345,
 			Self: Entry{Addr: string(make([]byte, rng.Intn(50)))},
 		}

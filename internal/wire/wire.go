@@ -23,8 +23,10 @@ import (
 const (
 	// Magic marks every frame; receivers drop streams with wrong magic.
 	Magic uint16 = 0xB215
-	// Version is the protocol revision.
-	Version uint8 = 1
+	// Version is the protocol revision. Revision 2 added the per-publisher
+	// Epoch to Entry (and the TPublishBatch message); the framing of every
+	// entry changed, so v1 peers are rejected rather than misparsed.
+	Version uint8 = 2
 	// MaxFrame bounds a frame's payload to keep malicious peers from
 	// forcing huge allocations.
 	MaxFrame = 1 << 20
@@ -58,6 +60,11 @@ const (
 	TJoinResp
 	// TLeafExchange shares leaf-set entries during stabilization.
 	TLeafExchange
+	// TPublishBatch publishes every record in Entries at the receiver in
+	// one atomic ingest — the O(replicas) move path for a node that owns
+	// many keys. Self identifies the publisher; acknowledged by
+	// TPublishAck like a single publish.
+	TPublishBatch
 )
 
 // String names the message type.
@@ -87,6 +94,8 @@ func (t MsgType) String() string {
 		return "join-resp"
 	case TLeafExchange:
 		return "leaf-exchange"
+	case TPublishBatch:
+		return "publish-batch"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -108,6 +117,11 @@ type Entry struct {
 	Capacity float64
 	TTLMilli uint32 // lease duration in milliseconds; 0 = no lease
 	Mobile   bool   // mobile-layer node: never a location-record owner
+	// Epoch is the publisher's monotonic move counter: every rebind bumps
+	// it, and receivers apply newest-epoch-wins so a delayed or duplicated
+	// frame can never resurrect a pre-move address. 0 = unordered (legacy
+	// senders); an unordered entry never displaces an ordered one.
+	Epoch uint64
 }
 
 // Message is a decoded frame.
@@ -270,6 +284,7 @@ func appendEntry(dst []byte, e Entry) ([]byte, error) {
 	dst = append(dst, e.Addr...)
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(e.Capacity))
 	dst = binary.BigEndian.AppendUint32(dst, e.TTLMilli)
+	dst = binary.BigEndian.AppendUint64(dst, e.Epoch)
 	var flags byte
 	if e.Mobile {
 		flags |= 1
@@ -286,13 +301,14 @@ func readEntry(p []byte) (Entry, []byte, error) {
 	e.Key = hashkey.Key(binary.BigEndian.Uint64(p))
 	alen := int(binary.BigEndian.Uint16(p[8:]))
 	p = p[10:]
-	if len(p) < alen+13 { // addr + capacity(8) + ttl(4) + flags(1)
+	if len(p) < alen+21 { // addr + capacity(8) + ttl(4) + epoch(8) + flags(1)
 		return e, p, ErrTruncated
 	}
 	e.Addr = string(p[:alen])
 	p = p[alen:]
 	e.Capacity = math.Float64frombits(binary.BigEndian.Uint64(p))
 	e.TTLMilli = binary.BigEndian.Uint32(p[8:])
-	e.Mobile = p[12]&1 != 0
-	return e, p[13:], nil
+	e.Epoch = binary.BigEndian.Uint64(p[12:])
+	e.Mobile = p[20]&1 != 0
+	return e, p[21:], nil
 }

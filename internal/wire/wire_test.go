@@ -26,22 +26,61 @@ func roundTrip(t *testing.T, m *Message) *Message {
 
 func TestRoundTripAllTypes(t *testing.T) {
 	types := []MsgType{TPing, TPong, TPublish, TPublishAck, TDiscover,
-		TDiscoverResp, TRegister, TRegisterAck, TUpdate, TJoin, TJoinResp, TLeafExchange}
+		TDiscoverResp, TRegister, TRegisterAck, TUpdate, TJoin, TJoinResp,
+		TLeafExchange, TPublishBatch}
 	for _, typ := range types {
 		m := &Message{
 			Type:  typ,
 			Key:   hashkey.FromName("subject"),
 			Seq:   42,
 			Found: typ == TDiscoverResp,
-			Self:  Entry{Key: 7, Addr: "127.0.0.1:9000", Capacity: 3.5, TTLMilli: 1500},
+			Self:  Entry{Key: 7, Addr: "127.0.0.1:9000", Capacity: 3.5, TTLMilli: 1500, Epoch: 1<<40 | 7},
 			Entries: []Entry{
-				{Key: 1, Addr: "10.0.0.1:1", Capacity: 1},
+				{Key: 1, Addr: "10.0.0.1:1", Capacity: 1, Epoch: 3},
 				{Key: 2, Addr: "10.0.0.2:2", Capacity: 2, TTLMilli: 10},
 			},
 		}
 		got := roundTrip(t, m)
 		if !reflect.DeepEqual(m, got) {
 			t.Fatalf("type %v: round trip mismatch:\n got %+v\nwant %+v", typ, got, m)
+		}
+	}
+}
+
+// TestRoundTripPublishBatch pins the batched-publish framing: an empty
+// batch (a publisher with no owned records beyond Self), and a
+// mixed-epoch batch where records written at different moves ride one
+// frame without their epochs bleeding into each other.
+func TestRoundTripPublishBatch(t *testing.T) {
+	cases := []*Message{
+		{ // empty batch
+			Type: TPublishBatch,
+			Self: Entry{Key: 11, Addr: "pub:1", Capacity: 2, Epoch: 9, Mobile: true},
+		},
+		{ // mixed epochs
+			Type: TPublishBatch,
+			Self: Entry{Key: 11, Addr: "pub:2", Capacity: 2, Epoch: 12, Mobile: true},
+			Entries: []Entry{
+				{Key: 100, Addr: "pub:2", TTLMilli: 500, Epoch: 12},
+				{Key: 101, Addr: "pub:1", TTLMilli: 500, Epoch: 9},
+				{Key: 102, Addr: "pub:0", Epoch: 0},
+			},
+		},
+	}
+	for i, m := range cases {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, m)
+		}
+	}
+}
+
+// TestEpochSurvivesRoundTrip pins the epoch's full 64-bit width.
+func TestEpochSurvivesRoundTrip(t *testing.T) {
+	for _, epoch := range []uint64{0, 1, 1 << 32, ^uint64(0)} {
+		m := &Message{Type: TPublish, Self: Entry{Key: 5, Addr: "a:1", Epoch: epoch}}
+		if got := roundTrip(t, m); got.Self.Epoch != epoch {
+			t.Fatalf("epoch %d decoded as %d", epoch, got.Self.Epoch)
 		}
 	}
 }
@@ -55,7 +94,7 @@ func TestRoundTripEmpty(t *testing.T) {
 }
 
 func TestRoundTripProperty(t *testing.T) {
-	f := func(key uint64, seq uint32, found bool, addr string, cap float64, n uint8) bool {
+	f := func(key uint64, seq uint32, found bool, addr string, cap float64, n uint8, epoch uint64) bool {
 		if len(addr) > 1000 {
 			addr = addr[:1000]
 		}
@@ -64,10 +103,10 @@ func TestRoundTripProperty(t *testing.T) {
 			Key:   hashkey.Key(key),
 			Seq:   seq,
 			Found: found,
-			Self:  Entry{Key: hashkey.Key(key ^ 0xff), Addr: addr, Capacity: cap},
+			Self:  Entry{Key: hashkey.Key(key ^ 0xff), Addr: addr, Capacity: cap, Epoch: epoch},
 		}
 		for i := 0; i < int(n%20); i++ {
-			m.Entries = append(m.Entries, Entry{Key: hashkey.Key(i), Addr: addr, Capacity: float64(i)})
+			m.Entries = append(m.Entries, Entry{Key: hashkey.Key(i), Addr: addr, Capacity: float64(i), Epoch: epoch ^ uint64(i)})
 		}
 		frame, err := Encode(m)
 		if err != nil {
@@ -94,9 +133,13 @@ func TestDecodeBadMagic(t *testing.T) {
 
 func TestDecodeBadVersion(t *testing.T) {
 	frame, _ := Encode(&Message{Type: TPing})
-	frame[2] = 99
-	if _, err := Decode(bytes.NewReader(frame)); err != ErrBadVersion {
-		t.Fatalf("err = %v, want ErrBadVersion", err)
+	// Both an unknown future revision and the pre-epoch v1 framing must be
+	// rejected outright: a v1 entry is 8 bytes shorter and would misparse.
+	for _, v := range []byte{99, 1} {
+		frame[2] = v
+		if _, err := Decode(bytes.NewReader(frame)); err != ErrBadVersion {
+			t.Fatalf("version %d: err = %v, want ErrBadVersion", v, err)
+		}
 	}
 }
 
