@@ -1,8 +1,11 @@
 GO           ?= go
 BENCHTIME    ?= 100x
+# Time-based so fast hot-path benchmarks accumulate enough measured time
+# to be stable; iteration counts (e.g. 2000x) make the gate noise-bound.
+GATETIME     ?= 1s
 SOAK_SECONDS ?= 60
 
-.PHONY: build test race bench soak clean
+.PHONY: build test race bench bench-gate soak clean
 
 build:
 	$(GO) build ./...
@@ -24,10 +27,28 @@ bench:
 		-benchtime $(BENCHTIME) -benchmem ./internal/live | tee bench_resolve.txt
 	$(GO) run ./cmd/benchjson -in bench_resolve.txt -out BENCH_resolve.json
 	@rm -f bench_resolve.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkPublishBatch' \
+	$(GO) test -run '^$$' -bench 'BenchmarkPublishBatch|BenchmarkPublishIngestParallel|BenchmarkRegistryReadParallel' \
 		-benchtime $(BENCHTIME) -benchmem ./internal/live | tee bench_publish.txt
 	$(GO) run ./cmd/benchjson -suite publish -in bench_publish.txt -out BENCH_publish.json
 	@rm -f bench_publish.txt
+
+# bench-gate re-measures the hot-path benchmarks and fails if any of them
+# regressed more than 20% in ns/op against the committed BENCH_*.json
+# baselines, gained allocations, or lost a zero-allocation guarantee.
+# GATETIME trades gate runtime for measurement stability. Only the
+# allocation-free paths are gated: their timings are stable because they
+# never touch the GC, while alloc-heavy benchmarks (RegistryReadParallel
+# et al.) jitter past any useful threshold and are tracked via the
+# recorded BENCH_*.json reports instead.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkResolveHot|BenchmarkPublishIngestParallel' \
+		-benchtime $(GATETIME) -benchmem ./internal/live | tee bench_gate.txt
+	$(GO) run ./cmd/benchjson -suite gate -in bench_gate.txt -out bench_gate.json
+	@rm -f bench_gate.txt
+	$(GO) run ./cmd/benchgate -new bench_gate.json \
+		-baselines BENCH_resolve.json,BENCH_publish.json \
+		-zero-alloc BenchmarkResolveHotParallel,BenchmarkPublishIngestParallel
+	@rm -f bench_gate.json
 
 # soak runs randomized seeded mobility/churn scenarios on the scenario
 # harness (internal/harness) under the race detector until the
@@ -39,4 +60,5 @@ soak:
 		-run 'TestSoak$$' -timeout 20m -v ./internal/harness
 
 clean:
-	rm -f bench_resolve.txt BENCH_resolve.json bench_publish.txt BENCH_publish.json
+	rm -f bench_resolve.txt BENCH_resolve.json bench_publish.txt BENCH_publish.json \
+		bench_gate.txt bench_gate.json

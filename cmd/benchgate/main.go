@@ -1,0 +1,124 @@
+// Command benchgate compares a fresh benchjson report against committed
+// baselines and fails (exit 1) when the hot paths regress: a benchmark
+// present in both reports may not slow down by more than -max-regress-pct
+// in ns/op, and may never gain allocations. Benchmarks named in
+// -zero-alloc must additionally appear in the fresh report with exactly
+// 0 allocs/op — the zero-allocation guarantees of the serve and resolve
+// paths as an enforced gate rather than a comment.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate -new /tmp/gate.json \
+//	    -baselines BENCH_resolve.json,BENCH_publish.json \
+//	    -zero-alloc BenchmarkResolveHotParallel,BenchmarkPublishIngestParallel
+//
+// Baselines are recorded by `make bench`; the gate is wired as
+// `make bench-gate` and runs in CI's bench-smoke job.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"b_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Suite      string   `json:"suite"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(data, &r)
+}
+
+func main() {
+	newPath := flag.String("new", "", "fresh benchjson report to gate")
+	baselines := flag.String("baselines", "", "comma-separated committed baseline reports")
+	maxRegress := flag.Float64("max-regress-pct", 20, "max allowed ns/op regression, percent")
+	zeroAlloc := flag.String("zero-alloc", "", "comma-separated benchmarks that must report 0 allocs/op")
+	flag.Parse()
+	if *newPath == "" || *baselines == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new and -baselines are required")
+		os.Exit(2)
+	}
+
+	fresh, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	got := make(map[string]result, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		got[b.Name] = b
+	}
+
+	base := make(map[string]result)
+	for _, path := range strings.Split(*baselines, ",") {
+		rep, err := load(strings.TrimSpace(path))
+		if err != nil {
+			fatal(err)
+		}
+		for _, b := range rep.Benchmarks {
+			base[b.Name] = b
+		}
+	}
+
+	violations := 0
+	fmt.Printf("%-36s %14s %14s %9s %s\n", "benchmark", "base ns/op", "new ns/op", "Δ%", "allocs")
+	for _, nb := range fresh.Benchmarks {
+		bb, ok := base[nb.Name]
+		if !ok {
+			fmt.Printf("%-36s %14s %14.1f %9s %d (new)\n", nb.Name, "-", nb.NsPerOp, "-", nb.AllocsOp)
+			continue
+		}
+		delta := (nb.NsPerOp - bb.NsPerOp) / bb.NsPerOp * 100
+		verdict := ""
+		if delta > *maxRegress {
+			verdict = "  REGRESSION"
+			violations++
+		}
+		if nb.AllocsOp > bb.AllocsOp {
+			verdict += "  ALLOC-INCREASE"
+			violations++
+		}
+		fmt.Printf("%-36s %14.1f %14.1f %+8.1f%% %d→%d%s\n",
+			nb.Name, bb.NsPerOp, nb.NsPerOp, delta, bb.AllocsOp, nb.AllocsOp, verdict)
+	}
+	if *zeroAlloc != "" {
+		for _, name := range strings.Split(*zeroAlloc, ",") {
+			name = strings.TrimSpace(name)
+			nb, ok := got[name]
+			switch {
+			case !ok:
+				fmt.Printf("%-36s missing from fresh report  ZERO-ALLOC-UNVERIFIED\n", name)
+				violations++
+			case nb.AllocsOp != 0:
+				fmt.Printf("%-36s %d allocs/op  ZERO-ALLOC-VIOLATION\n", name, nb.AllocsOp)
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}

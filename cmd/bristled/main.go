@@ -131,7 +131,7 @@ func main() {
 	})
 	defer stopMaint()
 
-	prevStats := counters.Snapshot()
+	prevStats := node.Stats()
 	var statsTick <-chan time.Time
 	if *stats > 0 {
 		t := time.NewTicker(*stats)
@@ -158,10 +158,11 @@ func main() {
 		case <-statsTick:
 			// Per-interval deltas show what the node is doing right now;
 			// cumulative totals only ever grow and bury the signal.
-			delta := formatDelta(counters.Diff(prevStats))
-			prevStats = counters.Snapshot()
-			if suspects := node.Suspects(); len(suspects) > 0 {
-				fmt.Printf("stats: Δ %s | %s suspects=%v\n", delta, gauges, suspects)
+			st := node.Stats()
+			delta := formatDelta(st.CountersDelta(prevStats))
+			prevStats = st
+			if len(st.Suspects) > 0 {
+				fmt.Printf("stats: Δ %s | %s suspects=%v\n", delta, gauges, st.Suspects)
 			} else {
 				fmt.Printf("stats: Δ %s | %s\n", delta, gauges)
 			}

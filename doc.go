@@ -21,8 +21,16 @@
 //   - internal/experiments — one driver per table/figure of the paper's
 //     evaluation.
 //   - internal/wire, internal/transport, internal/live — a deployable
-//     implementation of the location-management protocol over TCP.
+//     implementation of the location-management protocol over TCP: a
+//     pooled zero-allocation codec under a sharded, context-first node
+//     (no global lock on any request path; see DESIGN.md §13 for the
+//     lock map and internal/live's package doc for the file tour).
+//   - internal/loccache, internal/metrics, internal/harness — the
+//     lease-aware location cache, counter/gauge registries, and the
+//     seeded scenario harness with protocol invariant checkers.
 //
 // The root-level benchmarks (bench_test.go) regenerate each experiment;
-// cmd/bristle-sim prints the paper-style tables.
+// cmd/bristle-sim prints the paper-style tables. make bench records the
+// live hot-path benchmarks into BENCH_*.json and make bench-gate fails
+// regressions against them (cmd/benchgate).
 package bristle

@@ -187,11 +187,11 @@ func (n *Node) enqueueUpdate(addr string, msg *wire.Message) <-chan struct{} {
 
 // ensureFlusher starts the update flusher goroutine on first use. Lazy
 // start keeps nodes that never push updates goroutine-free and — because
-// it checks stopped under mu — guarantees no flusher is spawned after
-// Close has begun (Close sets stopped before waiting on wg).
+// it checks stopped under lifeMu — guarantees no flusher is spawned
+// after Close has begun (Close sets stopped before waiting on wg).
 func (n *Node) ensureFlusher() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
 	if n.stopped || n.flusherOn {
 		return
 	}
@@ -242,35 +242,29 @@ func (n *Node) updateFlusher() {
 	}
 }
 
-// UpdateRegistry calls UpdateRegistryContext with the background context.
-func (n *Node) UpdateRegistry() error {
-	return n.UpdateRegistryContext(context.Background())
-}
-
 // UpdateRegistryContext pushes this node's current address to every
 // registered node through the capacity-aware LDT of Figure 4. The pushes
 // go through the coalescing queue — a second move queued before the
 // first finished replaces it — and this call waits until its own frames
 // (or newer ones that subsumed them) have been handed to the transport,
-// or ctx fires.
+// or ctx fires. Canonical form of UpdateRegistry (api.go).
 func (n *Node) UpdateRegistryContext(ctx context.Context) error {
 	now := time.Now()
-	n.mu.Lock()
-	expired := n.sweepRegistryLocked(now) // lapsed registrants miss the push by design
-	members := make([]ldt.Member, 0, len(n.registry))
-	index := make(map[int32]wire.Entry, len(n.registry))
+	// Lapsed registrants miss the push by design.
+	if expired := n.registry.sweep(now); expired > 0 {
+		n.cfg.Counters.Add("registry.expired", uint64(expired))
+	}
+	v := n.registry.snapshot()
+	members := make([]ldt.Member, 0, len(v.byKey))
+	index := make(map[int32]wire.Entry, len(v.byKey))
 	i := int32(1)
-	for _, r := range n.registry {
+	for _, r := range v.byKey {
 		members = append(members, ldt.Member{ID: i, Capacity: r.entry.Capacity})
 		index[i] = r.entry
 		i++
 	}
-	self := n.selfEntryLocked()
+	self := n.SelfEntry()
 	rootCap := n.cfg.Capacity
-	n.mu.Unlock()
-	if expired > 0 {
-		n.cfg.Counters.Add("registry.expired", uint64(expired))
-	}
 	if len(members) == 0 {
 		return nil
 	}

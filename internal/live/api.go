@@ -1,0 +1,196 @@
+package live
+
+// This file is the node's consolidated public surface. The
+// context-taking forms are canonical — they observe the caller's
+// cancellation and deadline end to end, through retries, backoff pauses,
+// dials, and pooled exchanges — and every suffix-less name below is a
+// one-line alias over context.Background(). Introspection is likewise
+// one method: Stats returns everything the ad-hoc accessors used to
+// expose (and more) as a single coherent snapshot.
+
+import (
+	"context"
+	"fmt"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/loccache"
+	"bristle/internal/wire"
+)
+
+// Resolve is an alias for ResolveContext (resolve.go, the canonical
+// form) with the background context.
+func (n *Node) Resolve(key hashkey.Key) (string, error) {
+	return n.ResolveContext(context.Background(), key)
+}
+
+// Discover is an alias for DiscoverContext (resolve.go, the canonical
+// form) with the background context.
+func (n *Node) Discover(key hashkey.Key) (string, error) {
+	return n.DiscoverContext(context.Background(), key)
+}
+
+// Publish is an alias for PublishContext (publish.go, the canonical
+// form) with the background context.
+func (n *Node) Publish() error { return n.PublishContext(context.Background()) }
+
+// Rebind is an alias for RebindContext (node.go, the canonical form)
+// with the background context.
+func (n *Node) Rebind(listenAddr string) error {
+	return n.RebindContext(context.Background(), listenAddr)
+}
+
+// UpdateRegistry is an alias for UpdateRegistryContext (advertise.go,
+// the canonical form) with the background context.
+func (n *Node) UpdateRegistry() error {
+	return n.UpdateRegistryContext(context.Background())
+}
+
+// JoinVia is an alias for JoinViaContext (the canonical form) with the
+// background context.
+func (n *Node) JoinVia(bootstrapAddr string) error {
+	return n.JoinViaContext(context.Background(), bootstrapAddr)
+}
+
+// JoinViaContext contacts a bootstrap node, announces this node, and
+// adopts the returned membership.
+func (n *Node) JoinViaContext(ctx context.Context, bootstrapAddr string) error {
+	resp, err := n.request(ctx, bootstrapAddr, &wire.Message{Type: wire.TJoin, Self: n.SelfEntry()})
+	if err != nil {
+		return fmt.Errorf("live: join via %s: %w", bootstrapAddr, err)
+	}
+	if resp.Type != wire.TJoinResp || !resp.Found {
+		return fmt.Errorf("live: join rejected by %s", bootstrapAddr)
+	}
+	for _, e := range resp.Entries {
+		n.members.merge(n.key, e)
+	}
+	return nil
+}
+
+// RegisterWith is an alias for RegisterWithContext (the canonical form)
+// with the background context.
+func (n *Node) RegisterWith(targetAddr string) error {
+	return n.RegisterWithContext(context.Background(), targetAddr)
+}
+
+// RegisterWithContext records this node's interest in the movement of the
+// node currently reachable at targetAddr.
+func (n *Node) RegisterWithContext(ctx context.Context, targetAddr string) error {
+	resp, err := n.request(ctx, targetAddr, &wire.Message{Type: wire.TRegister, Self: n.SelfEntry()})
+	if err != nil {
+		return fmt.Errorf("live: register with %s: %w", targetAddr, err)
+	}
+	if resp.Type != wire.TRegisterAck || !resp.Found {
+		return fmt.Errorf("live: registration rejected by %s", targetAddr)
+	}
+	return nil
+}
+
+// Ping is an alias for PingContext (the canonical form) with the
+// background context.
+func (n *Node) Ping(addr string) error { return n.PingContext(context.Background(), addr) }
+
+// PingContext checks liveness of a peer address.
+func (n *Node) PingContext(ctx context.Context, addr string) error {
+	resp, err := n.request(ctx, addr, &wire.Message{Type: wire.TPing})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.TPong {
+		return fmt.Errorf("live: unexpected ping response %v", resp.Type)
+	}
+	return nil
+}
+
+// CachedAddr returns this node's cached address for key, if its lease is
+// still fresh. A read-only probe: it neither promotes the entry nor
+// records cache metrics.
+func (n *Node) CachedAddr(key hashkey.Key) (string, bool) {
+	if n.loc == nil {
+		return "", false
+	}
+	addr, state := n.loc.Peek(key)
+	if state != loccache.Fresh {
+		return "", false
+	}
+	return addr, true
+}
+
+// Stats is a coherent point-in-time snapshot of a node's observable
+// state — identity, binding, table sizes, suspicion, and the counter
+// registry — replacing the former piecemeal accessors (Epoch,
+// PoolSessions, CacheEntries, Suspects).
+type Stats struct {
+	// Key is the node's hash key; Addr and Epoch its current binding.
+	Key   hashkey.Key
+	Addr  string
+	Epoch uint64
+	// Peers is the size of the membership view (including self).
+	Peers int
+	// Registrations is the size of R(self), including not-yet-swept
+	// lapsed leases.
+	Registrations int
+	// OwnedKeys counts the resource keys published at this node's address
+	// beyond its identity key.
+	OwnedKeys int
+	// StoreRecords counts the location records this node holds as an
+	// owner/replica (including not-yet-lapsed leases).
+	StoreRecords int
+	// CacheEntries counts the location cache's entries (0 when the cache
+	// is disabled).
+	CacheEntries int
+	// PoolSessions counts the open pooled peer sessions (0 when pooling
+	// is disabled).
+	PoolSessions int
+	// Suspects lists the peer addresses whose circuit breakers are open
+	// or half-open — the peers this node currently routes around. Sorted.
+	Suspects []string
+	// Counters is a snapshot of the node's counter registry (empty when
+	// no Counters were configured).
+	Counters map[string]uint64
+}
+
+// Stats returns a snapshot of the node's observable state. Safe to call
+// concurrently with any operation; each field is individually consistent.
+func (n *Node) Stats() Stats {
+	b := n.self.Load()
+	s := Stats{
+		Key:           n.key,
+		Addr:          b.addr,
+		Epoch:         b.epoch,
+		Peers:         n.members.size(),
+		Registrations: n.registry.size(),
+		StoreRecords:  n.store.size(),
+		Suspects:      n.peersTbl.suspectAddrs(),
+		Counters:      n.cfg.Counters.Snapshot(),
+	}
+	n.ownedMu.Lock()
+	s.OwnedKeys = len(n.owned)
+	n.ownedMu.Unlock()
+	if n.loc != nil {
+		s.CacheEntries = n.loc.Len()
+	}
+	if n.pool != nil {
+		s.PoolSessions = n.pool.sessionCount()
+	}
+	return s
+}
+
+// CountersDelta returns the per-counter increase since prev (an earlier
+// Stats snapshot), omitting counters that did not change — the shape a
+// periodic stats reporter wants.
+func (s Stats) CountersDelta(prev Stats) map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, v := range s.Counters {
+		if p, ok := prev.Counters[k]; ok && p <= v {
+			if v > p {
+				out[k] = v - p
+			}
+			continue
+		}
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}

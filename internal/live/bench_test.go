@@ -289,3 +289,63 @@ func benchmarkPublishBatch(b *testing.B, ownedKeys int) {
 func BenchmarkPublishBatch1(b *testing.B)   { benchmarkPublishBatch(b, 0) }
 func BenchmarkPublishBatch100(b *testing.B) { benchmarkPublishBatch(b, 99) }
 func BenchmarkPublishBatch10k(b *testing.B) { benchmarkPublishBatch(b, 9999) }
+
+// sinkEntries keeps the compiler from eliding the registry reads below.
+var sinkEntries []wire.Entry
+
+// BenchmarkPublishIngestParallel drives the server-side batch ingest path
+// (handlePublishBatch) from all cores at once against a bare node — the
+// hot serve loop as the wire dispatch runs it, minus the transport. The
+// steady state re-ingests a known batch (same addresses, same epoch):
+// every record overwrites its existing shard slot and the membership
+// fast path short-circuits, so the path must report 0 allocs/op. `make
+// bench` records this in BENCH_publish.json and `make bench-gate`
+// enforces the zero.
+func BenchmarkPublishIngestParallel(b *testing.B) {
+	n := NewNode(Config{Name: "bench-ingest", Capacity: 4}, transport.NewMem())
+	if err := n.Start(""); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+
+	self := wire.Entry{Key: hashkey.FromName("bench-mob"), Addr: "mem:bench-mob", Capacity: 2, Mobile: true, Epoch: 7}
+	entries := make([]wire.Entry, 64)
+	for i := range entries {
+		entries[i] = wire.Entry{Key: hashkey.FromName(fmt.Sprintf("bench-ing-%d", i)), Addr: self.Addr, Epoch: self.Epoch}
+	}
+	msg := &wire.Message{Type: wire.TPublishBatch, Self: self, Entries: entries}
+	n.handlePublishBatch(msg) // warm: all slots exist, membership knows the publisher
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n.handlePublishBatch(msg)
+		}
+	})
+}
+
+// BenchmarkRegistryReadParallel reads R(self) from all cores while the
+// table sits behind its copy-on-write snapshot: the reads share no lock
+// with each other or with writers, so throughput must scale with cores
+// instead of serializing on a node-global mutex as the monolithic node
+// did.
+func BenchmarkRegistryReadParallel(b *testing.B) {
+	n := NewNode(Config{Name: "bench-registry", Capacity: 4}, transport.NewMem())
+	if err := n.Start(""); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+	for i := 0; i < 64; i++ {
+		e := wire.Entry{Key: hashkey.FromName(fmt.Sprintf("bench-reg-%d", i)), Addr: fmt.Sprintf("mem:reg-%d", i), Capacity: 1}
+		n.registry.put(e.Key, registration{entry: e})
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sinkEntries = n.Registry()
+		}
+	})
+}

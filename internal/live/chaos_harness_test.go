@@ -148,7 +148,7 @@ func TestChaosRingConvergesUnderLossDelayAndPartition(t *testing.T) {
 	must("s6 readmitted", 20*time.Second, func() error {
 		return c.Node("s1").Ping(s6addr)
 	})
-	if s := c.Node("s1").Suspects(); len(s) != 0 {
+	if s := c.Node("s1").Stats().Suspects; len(s) != 0 {
 		t.Fatalf("breakers still open after recovery: %v", s)
 	}
 

@@ -120,7 +120,7 @@ func TestBreakerTripsFastFailsAndRecovers(t *testing.T) {
 	if got := counters.Get("breaker.trips"); got != 1 {
 		t.Fatalf("breaker.trips = %d, want 1", got)
 	}
-	if s := a.Suspects(); len(s) != 1 || s[0] != "b-home" {
+	if s := a.Stats().Suspects; len(s) != 1 || s[0] != "b-home" {
 		t.Fatalf("Suspects = %v", s)
 	}
 
@@ -147,7 +147,7 @@ func TestBreakerTripsFastFailsAndRecovers(t *testing.T) {
 	if err := a.Ping("b-home"); err != nil {
 		t.Fatalf("probe after recovery: %v", err)
 	}
-	if s := a.Suspects(); len(s) != 0 {
+	if s := a.Stats().Suspects; len(s) != 0 {
 		t.Fatalf("breaker still open after successful probe: %v", s)
 	}
 	if counters.Get("breaker.probes") == 0 || counters.Get("breaker.closes") == 0 {

@@ -112,11 +112,11 @@ func TestRebindBumpsEpoch(t *testing.T) {
 	nodes, cleanup := startCluster(t, []string{"s1", "s2", "mob"}, map[string]bool{"mob": true}, nil)
 	defer cleanup()
 	mob := nodes["mob"]
-	before := mob.Epoch()
+	before := mob.Stats().Epoch
 	if err := mob.Rebind(""); err != nil {
 		t.Fatal(err)
 	}
-	after := mob.Epoch()
+	after := mob.Stats().Epoch
 	if after <= before {
 		t.Fatalf("rebind did not advance epoch: %d → %d", before, after)
 	}

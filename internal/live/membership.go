@@ -1,0 +1,339 @@
+package live
+
+// This file is the node's membership and registry state, both held as
+// copy-on-write snapshots behind atomic pointers: readers (KnownPeers,
+// Registry, replica selection for every publish and discover) load one
+// pointer and walk an immutable view — no lock, no contention with
+// writers or with each other. Writers clone under a small private mutex
+// and swap the pointer; the membership write path additionally has a
+// lock-free fast path for the overwhelmingly common case of re-ingesting
+// a binding that is already known (every steady-state publish renewal),
+// which is what keeps batch ingest allocation-free.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/wire"
+)
+
+// memberView is one immutable membership snapshot. sorted and stationary
+// are derived once at construction and must never be mutated — callers
+// that need to reorder entries (ownersForKey sorts in place) copy first.
+type memberView struct {
+	byKey      map[hashkey.Key]wire.Entry
+	sorted     []wire.Entry // every entry, ascending by key (incl. self)
+	stationary []wire.Entry // the non-mobile subset, ascending by key
+}
+
+func (v *memberView) with(e wire.Entry) *memberView {
+	nv := &memberView{byKey: make(map[hashkey.Key]wire.Entry, len(v.byKey)+1)}
+	for k, cur := range v.byKey {
+		nv.byKey[k] = cur
+	}
+	nv.byKey[e.Key] = e
+	nv.sorted = make([]wire.Entry, 0, len(nv.byKey))
+	for _, cur := range nv.byKey {
+		nv.sorted = append(nv.sorted, cur)
+	}
+	sort.Slice(nv.sorted, func(i, j int) bool { return nv.sorted[i].Key < nv.sorted[j].Key })
+	for _, cur := range nv.sorted {
+		if !cur.Mobile {
+			nv.stationary = append(nv.stationary, cur)
+		}
+	}
+	return nv
+}
+
+// membership is the COW membership table.
+type membership struct {
+	mu   sync.Mutex // serializes writers only
+	view atomic.Pointer[memberView]
+}
+
+func (m *membership) init() {
+	m.view.Store(&memberView{byKey: make(map[hashkey.Key]wire.Entry)})
+}
+
+func (m *membership) snapshot() *memberView { return m.view.Load() }
+
+// update records e under newest-epoch-wins: an entry carrying an older
+// epoch than the one already known is out-of-order news and is dropped;
+// an equal epoch overwrites (a renewal may legitimately change lease or
+// capacity without a move). The unlocked identical-entry check in front
+// makes re-ingesting a known binding — every steady-state publish — free.
+func (m *membership) update(e wire.Entry) {
+	if cur, ok := m.view.Load().byKey[e.Key]; ok && cur == e {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.view.Load()
+	if cur, ok := v.byKey[e.Key]; ok && (cur.Epoch > e.Epoch || cur == e) {
+		return
+	}
+	m.view.Store(v.with(e))
+}
+
+// merge adopts a gossiped peer entry if the key is unknown or the entry
+// carries a strictly newer epoch (the ordering makes adopting hearsay
+// safe: a newer epoch is a later binding by definition, so merge stays
+// idempotent and can never regress an address). The caller's own entry
+// is never adopted from hearsay.
+func (m *membership) merge(selfKey hashkey.Key, e wire.Entry) {
+	if e.Key == selfKey {
+		return
+	}
+	if cur, ok := m.view.Load().byKey[e.Key]; ok && e.Epoch <= cur.Epoch {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.view.Load()
+	if cur, ok := v.byKey[e.Key]; ok && e.Epoch <= cur.Epoch {
+		return
+	}
+	m.view.Store(v.with(e))
+}
+
+func (m *membership) size() int { return len(m.view.Load().byKey) }
+
+// registration is one R(self) entry held under its registrant's lease: a
+// registrant that stops renewing its interest (re-registering) lapses out
+// of the LDT fan-out instead of receiving pushes forever. TTLMilli 0
+// registers without a lease.
+type registration struct {
+	entry   wire.Entry
+	expires time.Time
+	hasTTL  bool
+}
+
+func (r registration) live(now time.Time) bool {
+	return !r.hasTTL || now.Before(r.expires)
+}
+
+type registryView struct {
+	byKey map[hashkey.Key]registration
+}
+
+// registryTable is the COW R(self) table: TRegister writes, the LDT
+// fan-out and Registry read, the sweeps rebuild without lapsed leases.
+type registryTable struct {
+	mu   sync.Mutex // serializes writers only
+	view atomic.Pointer[registryView]
+}
+
+func (t *registryTable) init() {
+	t.view.Store(&registryView{byKey: make(map[hashkey.Key]registration)})
+}
+
+func (t *registryTable) snapshot() *registryView { return t.view.Load() }
+
+func (t *registryTable) put(k hashkey.Key, reg registration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.view.Load()
+	nv := &registryView{byKey: make(map[hashkey.Key]registration, len(v.byKey)+1)}
+	for key, r := range v.byKey {
+		nv.byKey[key] = r
+	}
+	nv.byKey[k] = reg
+	t.view.Store(nv)
+}
+
+// sweep drops registrations whose lease lapsed before now, returning how
+// many were removed. When nothing lapsed, the view is left untouched.
+func (t *registryTable) sweep(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.view.Load()
+	lapsed := 0
+	for _, r := range v.byKey {
+		if !r.live(now) {
+			lapsed++
+		}
+	}
+	if lapsed == 0 {
+		return 0
+	}
+	nv := &registryView{byKey: make(map[hashkey.Key]registration, len(v.byKey)-lapsed)}
+	for k, r := range v.byKey {
+		if r.live(now) {
+			nv.byKey[k] = r
+		}
+	}
+	t.view.Store(nv)
+	return lapsed
+}
+
+func (t *registryTable) size() int { return len(t.view.Load().byKey) }
+
+func (n *Node) handleJoin(m *wire.Message) *wire.Message {
+	n.members.update(m.Self)
+	if n.cfg.Logger != nil {
+		n.logf("join from %v (%s)", m.Self.Key, m.Self.Addr)
+	}
+	return &wire.Message{Type: wire.TJoinResp, Seq: m.Seq, Found: true, Entries: n.KnownPeers()}
+}
+
+func (n *Node) handleLeafExchange(m *wire.Message) *wire.Message {
+	for _, e := range m.Entries {
+		n.members.merge(n.key, e)
+	}
+	return &wire.Message{Type: wire.TLeafExchange, Seq: m.Seq, Found: true, Entries: n.KnownPeers()}
+}
+
+// handleRegister records the sender's interest in this node's movement.
+// The registrant's own lease bounds that interest: re-registering renews
+// it, silence lets it lapse (swept by maintenance and by the LDT fan-out
+// itself).
+func (n *Node) handleRegister(m *wire.Message) *wire.Message {
+	reg := registration{entry: m.Self}
+	if m.Self.TTLMilli > 0 {
+		reg.hasTTL = true
+		reg.expires = time.Now().Add(time.Duration(m.Self.TTLMilli) * time.Millisecond)
+	}
+	n.registry.put(m.Self.Key, reg)
+	if n.cfg.Logger != nil {
+		n.logf("register from %v (%s)", m.Self.Key, m.Self.Addr)
+	}
+	return &wire.Message{Type: wire.TRegisterAck, Seq: m.Seq, Found: true}
+}
+
+// KnownPeers returns the node's current membership view (including
+// itself), sorted by key. Lock-free: it copies one immutable snapshot.
+func (n *Node) KnownPeers() []wire.Entry {
+	v := n.members.snapshot()
+	out := make([]wire.Entry, len(v.sorted))
+	copy(out, v.sorted)
+	return out
+}
+
+// Registry returns R(self): the entries registered as interested in this
+// node's movement whose lease has not lapsed, sorted by key. Lock-free:
+// it reads one immutable snapshot.
+func (n *Node) Registry() []wire.Entry {
+	now := time.Now()
+	v := n.registry.snapshot()
+	out := make([]wire.Entry, 0, len(v.byKey))
+	for _, r := range v.byKey {
+		if r.live(now) {
+			out = append(out, r.entry)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// SweepRegistry drops registrations whose lease has lapsed and returns
+// how many were removed (counted as registry.expired). StartMaintenance
+// calls it periodically; the LDT fan-out also sweeps inline, so the
+// periodic sweep only bounds how long a dead registrant occupies memory.
+func (n *Node) SweepRegistry() int {
+	removed := n.registry.sweep(time.Now())
+	if removed > 0 {
+		n.cfg.Counters.Add("registry.expired", uint64(removed))
+		n.logf("swept %d lapsed registrations", removed)
+	}
+	return removed
+}
+
+// GossipOnce performs one anti-entropy round with a random known peer,
+// exchanging membership views. Returns the number of entries learned.
+func (n *Node) GossipOnce(rng *rand.Rand) (int, error) {
+	v := n.members.snapshot()
+	before := len(v.byKey)
+	others := make([]wire.Entry, 0, len(v.sorted))
+	for _, e := range v.sorted {
+		if e.Key != n.key {
+			others = append(others, e)
+		}
+	}
+	if len(others) == 0 {
+		return 0, nil
+	}
+	// Prefer partners that are not currently suspect; fall back to the
+	// full set so an all-suspect view still gossips (and probes).
+	healthy := others[:0:0]
+	for _, e := range others {
+		if !n.suspect(e.Addr) {
+			healthy = append(healthy, e)
+		}
+	}
+	if len(healthy) > 0 {
+		others = healthy
+	}
+	target := others[rng.Intn(len(others))]
+	resp, err := n.request(context.Background(), target.Addr, &wire.Message{Type: wire.TLeafExchange, Entries: v.sorted})
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range resp.Entries {
+		n.members.merge(n.key, e)
+	}
+	return n.members.size() - before, nil
+}
+
+// stationarySnapshot returns a private copy of the known stationary
+// peers — the only legal owners of location records (Section 2.1; mobile
+// peers' addresses are exactly what's being resolved). A copy because
+// ownersForKey re-sorts its candidate slice in place.
+func (n *Node) stationarySnapshot() []wire.Entry {
+	v := n.members.snapshot()
+	if len(v.stationary) == 0 {
+		return nil
+	}
+	out := make([]wire.Entry, len(v.stationary))
+	copy(out, v.stationary)
+	return out
+}
+
+// ownersForKey picks the k candidates closest to key, healthy replicas
+// first (suspect is a pre-sampled breaker snapshot, so a batched publish
+// ranks thousands of keys without re-locking the breaker table per key).
+// cands is re-sorted in place: the returned slice aliases it and must be
+// consumed before the next call.
+func ownersForKey(cands []wire.Entry, suspect map[string]bool, key hashkey.Key, k int) []wire.Entry {
+	sort.Slice(cands, func(i, j int) bool {
+		return hashkey.Closer(key, cands[i].Key, cands[j].Key)
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	owners := cands[:k]
+	sort.SliceStable(owners, func(i, j int) bool {
+		return !suspect[owners[i].Addr] && suspect[owners[j].Addr]
+	})
+	return owners
+}
+
+// suspectSnapshot samples every candidate's breaker once, so replica
+// ordering cannot flap mid-batch.
+func (n *Node) suspectSnapshot(cands []wire.Entry) map[string]bool {
+	suspect := make(map[string]bool, len(cands))
+	for _, e := range cands {
+		if _, ok := suspect[e.Addr]; !ok {
+			suspect[e.Addr] = n.suspect(e.Addr)
+		}
+	}
+	return suspect
+}
+
+// ownersOf returns the k known *stationary* peers closest to key,
+// replicated for §2.3.2 availability. Within the replica set, peers
+// whose circuit breaker is open sort last, so publish and discovery fall
+// over across replicas in suspicion-aware order and pay the suspect
+// peers' timeouts only when every healthy replica failed.
+func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
+	cands := n.stationarySnapshot()
+	if len(cands) == 0 {
+		return nil, errors.New("live: no known stationary peers")
+	}
+	return ownersForKey(cands, n.suspectSnapshot(cands), key, k), nil
+}

@@ -11,21 +11,35 @@
 // down a capacity-scheduled dissemination tree, and correspondents keep
 // reaching it.)
 //
+// The implementation is split by concern, with no node-global mutex on
+// any request path (DESIGN.md §13 maps every lock):
+//
+//   - node.go       — Config, lifecycle (Start/Close/Rebind), connection
+//                     serving and dispatch
+//   - api.go        — the consolidated public surface: canonical
+//                     *Context methods, their suffix-less aliases, Stats
+//   - store.go      — the sharded record repository and the ingest/serve
+//                     handlers (publish, discover, update)
+//   - membership.go — copy-on-write membership and registry views;
+//                     join/gossip/register; replica selection
+//   - publish.go    — the owned-key set and the batched publish fan-out
+//   - resolve.go    — the cache-first resolve hot path
+//   - advertise.go  — the coalescing LDT push queue and fan-out
+//   - rpc.go        — retries, backoff, sharded per-peer circuit breakers
+//   - pool.go       — the sharded multiplexed connection pool
+//
 // Every public operation that can touch the network has a Context-suffixed
 // form (PublishContext, DiscoverContext, ...) that observes the caller's
 // cancellation and deadline end to end — through retries, backoff pauses,
-// dials, and pooled exchanges. The suffix-less forms are thin wrappers
-// over context.Background() kept for compatibility.
+// dials, and pooled exchanges. The suffix-less forms are one-line aliases
+// over context.Background(), collected in api.go.
 package live
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"log"
-	"math"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,31 +152,6 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-type storedLoc struct {
-	addr    string
-	expires time.Time
-	hasTTL  bool
-	epoch   uint64 // publisher's move counter; newest-epoch-wins
-}
-
-func (s storedLoc) valid(now time.Time) bool {
-	return s.addr != "" && (!s.hasTTL || now.Before(s.expires))
-}
-
-// registration is one R(self) entry held under its registrant's lease: a
-// registrant that stops renewing its interest (re-registering) lapses out
-// of the LDT fan-out instead of receiving pushes forever. TTLMilli 0
-// registers without a lease.
-type registration struct {
-	entry   wire.Entry
-	expires time.Time
-	hasTTL  bool
-}
-
-func (r registration) live(now time.Time) bool {
-	return !r.hasTTL || now.Before(r.expires)
-}
-
 // listenerState is one network attachment point: the listener plus every
 // connection accepted through it, so closing the attachment also closes
 // the long-lived multiplexed connections remote pools hold against it
@@ -218,55 +207,65 @@ func (ls *listenerState) close() {
 	}
 }
 
+// binding is the node's current (address, epoch) pair, published
+// atomically as one unit: a reader can never observe a new address with
+// a pre-move epoch or vice versa. Written only under lifeMu (Start and
+// Rebind), read lock-free everywhere.
+type binding struct {
+	addr  string
+	epoch uint64
+}
+
 // Node is one live Bristle participant.
+//
+// There is no node-global mutex. State is split per concern — each piece
+// guards itself, and no request-path operation (publish ingest, discover,
+// update, register, resolve) takes a lock shared with any other concern:
+//
+//   - lifeMu guards lifecycle transitions only (listener swaps, the stop
+//     flag, flusher startup); handlers never touch it.
+//   - self is the atomically published (addr, epoch) binding.
+//   - members and registry are copy-on-write snapshots (membership.go):
+//     reads are lock-free, writes clone under a private writer mutex.
+//   - store and seen are sixteen-way key-sharded tables (store.go).
+//   - owned has its own small mutex (publish.go).
+//   - breakers live in a sharded per-peer table (rpc.go); pooled
+//     sessions in a sharded address table (pool.go).
 type Node struct {
 	cfg  Config
 	key  hashkey.Key
 	tr   transport.Transport
 	pool *pool // nil when cfg.Pool.Disabled
 
-	mu       sync.Mutex
-	listener *listenerState
-	addr     string
-	peers    map[hashkey.Key]wire.Entry   // known membership (incl. self)
-	registry map[hashkey.Key]registration // R(self): interested nodes, leased
-	seq      uint32
-	stopped  bool
+	lifeMu    sync.Mutex
+	listener  *listenerState
+	stopped   bool
+	flusherOn bool // update flusher goroutine started (advertise.go)
 
-	// epoch is this node's publish ordering: every frame that asserts
-	// "key K is at address A" carries the epoch A was bound under, and
-	// receivers apply newest-epoch-wins. Bumped by every rebind; seeded
-	// from the wall clock so a restarted node (fresh process, same name)
-	// still outranks its pre-crash publications.
-	epoch uint64
+	self atomic.Pointer[binding]
+	seq  atomic.Uint32 // one-shot (unpooled) exchange sequence numbers
+
+	members  membership    // known peers (incl. self); COW snapshots
+	registry registryTable // R(self): interested nodes, leased; COW
+	store    recordStore   // sharded repository of published records
+	seen     epochTable    // sharded newest-ingested TUpdate epochs
+
 	// owned is the set of resource keys published at this node's address
 	// beyond its own identity key — the records a move must re-home. All
 	// of them ride one TPublishBatch per owner replica.
-	owned map[hashkey.Key]struct{}
-	// seenUpdates tracks, per subject, the newest epoch this node has
-	// ingested through TUpdate — the guard that keeps a delayed or
-	// duplicated push from regressing the cache/peers to a pre-move
-	// address.
-	seenUpdates map[hashkey.Key]uint64
+	ownedMu sync.Mutex
+	owned   map[hashkey.Key]struct{}
 
-	// store is the location *repository* fragment this node holds as an
-	// owner/replica of other nodes' keys: written only by TPublish (their
-	// publications), read only to answer TDiscover. It is the thing the
-	// network asks this node about.
-	store map[hashkey.Key]storedLoc
-
-	// loc is the opposite direction: locations this node has *learned*
-	// about others — TUpdate pushes (early binding) and discover answers
-	// (late binding) write through it; ResolveContext reads it. It is
-	// never served to the network, and it is deliberately outside mu so
-	// the resolve hot path shares no lock with the protocol path. Nil
-	// when Cache.Disabled.
+	// loc holds locations this node has *learned* about others — TUpdate
+	// pushes (early binding) and discover answers (late binding) write
+	// through it; ResolveContext reads it. It is never served to the
+	// network, and the resolve hot path shares no lock with the protocol
+	// path. Nil when Cache.Disabled.
 	loc     *loccache.Cache
 	flights loccache.Group // coalesces concurrent discoveries per key
 	closed  atomic.Bool    // set by Close; gates background refreshes
 
-	bmu      sync.Mutex          // guards breakers, independent of mu
-	breakers map[string]*breaker // per-peer suspicion circuit breakers
+	peersTbl peerTable // sharded per-peer suspicion circuit breakers
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // seeds retry jitter; per-node deterministic
@@ -281,7 +280,6 @@ type Node struct {
 	runCtx    context.Context
 	runCancel context.CancelFunc
 	updq      *updateQueue // coalescing LDT push queue (advertise.go)
-	flusherOn bool         // under mu: update flusher goroutine started
 }
 
 // NewNode creates a stopped node. Call Start to begin serving. (New in
@@ -290,20 +288,22 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 	cfg = cfg.withDefaults()
 	key := hashkey.FromName(cfg.Name)
 	n := &Node{
-		cfg:         cfg,
-		key:         key,
-		tr:          tr,
-		peers:       make(map[hashkey.Key]wire.Entry),
-		store:       make(map[hashkey.Key]storedLoc),
-		registry:    make(map[hashkey.Key]registration),
-		breakers:    make(map[string]*breaker),
-		rng:         rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
-		updates:     make(chan Update, 64),
-		epoch:       nextEpoch(0),
-		owned:       make(map[hashkey.Key]struct{}),
-		seenUpdates: make(map[hashkey.Key]uint64),
-		updq:        newUpdateQueue(),
+		cfg:     cfg,
+		key:     key,
+		tr:      tr,
+		rng:     rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
+		updates: make(chan Update, 64),
+		owned:   make(map[hashkey.Key]struct{}),
+		updq:    newUpdateQueue(),
 	}
+	// The epoch is seeded from the wall clock so a restarted node (fresh
+	// process, same name) still outranks its pre-crash publications.
+	n.self.Store(&binding{epoch: nextEpoch(0)})
+	n.members.init()
+	n.registry.init()
+	n.store.init()
+	n.seen.init()
+	n.peersTbl.init()
 	n.runCtx, n.runCancel = context.WithCancel(context.Background())
 	if !cfg.Pool.Disabled {
 		n.pool = newPool(tr, cfg.Pool, cfg.Counters, cfg.Gauges)
@@ -325,72 +325,24 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 func (n *Node) Key() hashkey.Key { return n.key }
 
 // Addr returns the node's current dialable address ("" before Start).
-func (n *Node) Addr() string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.addr
-}
+// Lock-free.
+func (n *Node) Addr() string { return n.self.Load().addr }
 
 // Updates delivers proactive location updates pushed to this node through
 // the dissemination trees it registered with.
 func (n *Node) Updates() <-chan Update { return n.updates }
 
-// Start binds a listener on listenAddr (":0" for an ephemeral port) and
-// begins serving the protocol.
-func (n *Node) Start(listenAddr string) error {
-	l, err := n.tr.Listen(listenAddr)
-	if err != nil {
-		return err
-	}
-	ls := newListenerState(l)
-	n.mu.Lock()
-	if n.stopped {
-		n.mu.Unlock()
-		ls.close()
-		return ErrStopped
-	}
-	n.listener = ls
-	n.addr = ls.addr()
-	n.peers[n.key] = n.selfEntryLocked()
-	n.mu.Unlock()
-
-	n.wg.Add(1)
-	go n.acceptLoop(ls)
-	return nil
-}
-
-// Close stops serving: the connection pool drains, the listener and every
-// accepted connection close, and all server goroutines exit.
-func (n *Node) Close() error {
-	n.mu.Lock()
-	if n.stopped {
-		n.mu.Unlock()
-		return nil
-	}
-	n.stopped = true
-	ls := n.listener
-	n.mu.Unlock()
-	n.closed.Store(true) // stop launching background refreshes
-	n.runCancel()        // abort in-flight LDT fan-out and flusher sends
-	n.updq.close()       // unblock enqueue waiters; the flusher drains out
-	if n.pool != nil {
-		n.pool.Close()
-	}
-	if ls != nil {
-		ls.close()
-	}
-	n.wg.Wait()
-	return nil
-}
-
-func (n *Node) selfEntryLocked() wire.Entry {
+// SelfEntry returns the node's current state-pair. Lock-free: the
+// (addr, epoch) binding is read as one atomic unit.
+func (n *Node) SelfEntry() wire.Entry {
+	b := n.self.Load()
 	return wire.Entry{
 		Key:      n.key,
-		Addr:     n.addr,
+		Addr:     b.addr,
 		Capacity: n.cfg.Capacity,
 		TTLMilli: uint32(n.cfg.LeaseTTL / time.Millisecond),
 		Mobile:   n.cfg.Mobile,
-		Epoch:    n.epoch,
+		Epoch:    b.epoch,
 	}
 }
 
@@ -407,52 +359,91 @@ func nextEpoch(prev uint64) uint64 {
 	return now
 }
 
-// Epoch returns the node's current publish epoch.
-func (n *Node) Epoch() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.epoch
-}
-
-// OwnKeys adds resource keys to the set this node publishes at its own
-// address: PublishContext re-homes them all (batched per owner replica)
-// and every rebind moves them with the node.
-func (n *Node) OwnKeys(keys ...hashkey.Key) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, k := range keys {
-		n.owned[k] = struct{}{}
+// Start binds a listener on listenAddr (":0" for an ephemeral port) and
+// begins serving the protocol.
+func (n *Node) Start(listenAddr string) error {
+	l, err := n.tr.Listen(listenAddr)
+	if err != nil {
+		return err
 	}
-}
-
-// DisownKeys removes resource keys from the owned set. Already-published
-// records lapse with their lease rather than being withdrawn.
-func (n *Node) DisownKeys(keys ...hashkey.Key) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, k := range keys {
-		delete(n.owned, k)
+	ls := newListenerState(l)
+	n.lifeMu.Lock()
+	if n.stopped {
+		n.lifeMu.Unlock()
+		ls.close()
+		return ErrStopped
 	}
+	n.listener = ls
+	b := n.self.Load()
+	n.self.Store(&binding{addr: ls.addr(), epoch: b.epoch})
+	n.lifeMu.Unlock()
+	n.members.update(n.SelfEntry())
+
+	n.wg.Add(1)
+	go n.acceptLoop(ls)
+	return nil
 }
 
-// OwnedKeys returns the resource keys currently published at this node's
-// address (beyond its identity key), sorted.
-func (n *Node) OwnedKeys() []hashkey.Key {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]hashkey.Key, 0, len(n.owned))
-	for k := range n.owned {
-		out = append(out, k)
+// Close stops serving: the connection pool drains, the listener and every
+// accepted connection close, and all server goroutines exit.
+func (n *Node) Close() error {
+	n.lifeMu.Lock()
+	if n.stopped {
+		n.lifeMu.Unlock()
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	n.stopped = true
+	ls := n.listener
+	n.lifeMu.Unlock()
+	n.closed.Store(true) // stop launching background refreshes
+	n.runCancel()        // abort in-flight LDT fan-out and flusher sends
+	n.updq.close()       // unblock enqueue waiters; the flusher drains out
+	if n.pool != nil {
+		n.pool.Close()
+	}
+	if ls != nil {
+		ls.close()
+	}
+	n.wg.Wait()
+	return nil
 }
 
-// SelfEntry returns the node's current state-pair.
-func (n *Node) SelfEntry() wire.Entry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.selfEntryLocked()
+// RebindContext moves a mobile node to a new listener (a new network
+// attachment point), republishes its location, and pushes the update
+// through its dissemination tree. Connections accepted through the old
+// attachment point close with it, exactly as a real relocation severs
+// them. Canonical form of Rebind (api.go).
+func (n *Node) RebindContext(ctx context.Context, listenAddr string) error {
+	if !n.cfg.Mobile {
+		return errors.New("live: node is not mobile")
+	}
+	newL, err := n.tr.Listen(listenAddr)
+	if err != nil {
+		return err
+	}
+	ls := newListenerState(newL)
+	n.lifeMu.Lock()
+	old := n.listener
+	n.listener = ls
+	// The new binding supersedes every frame sent for the old one: the
+	// epoch bumps atomically with the address, before any peer can learn
+	// it, so a delayed or duplicated pre-move frame can never displace it
+	// anywhere.
+	b := n.self.Load()
+	n.self.Store(&binding{addr: ls.addr(), epoch: nextEpoch(b.epoch)})
+	n.lifeMu.Unlock()
+	n.members.update(n.SelfEntry())
+	if old != nil {
+		old.close() // the old attachment point disappears
+	}
+	n.wg.Add(1)
+	go n.acceptLoop(ls)
+	n.logf("rebound to %s", n.Addr())
+
+	if err := n.PublishContext(ctx); err != nil {
+		return err
+	}
+	return n.UpdateRegistryContext(ctx)
 }
 
 func (n *Node) logf(format string, args ...interface{}) {
@@ -486,6 +477,11 @@ const serveConnWorkers = 64
 // responses serialized by a send mutex — a handler that blocks, or a
 // response that is slow to produce, cannot head-of-line-block the other
 // exchanges multiplexed on this connection.
+//
+// Fully handled frames (and shipped responses) go back to the wire
+// codec's message pool: the handlers copy everything they keep, so the
+// steady-state serve path recycles its messages instead of allocating
+// one per frame.
 func (n *Node) serveConn(ls *listenerState, conn transport.Conn) {
 	defer n.wg.Done()
 	defer ls.forget(conn)
@@ -503,10 +499,13 @@ func (n *Node) serveConn(ls *listenerState, conn transport.Conn) {
 		go func(msg *wire.Message) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			if resp := n.handle(msg); resp != nil {
+			resp := n.handle(msg)
+			wire.PutMessage(msg)
+			if resp != nil {
 				sendMu.Lock()
 				err := conn.Send(resp)
 				sendMu.Unlock()
+				wire.PutMessage(resp)
 				if err != nil {
 					return // conn broken; the Recv loop is failing too
 				}
@@ -538,19 +537,7 @@ func (n *Node) handle(m *wire.Message) *wire.Message {
 		return n.handleDiscover(m)
 
 	case wire.TRegister:
-		// The registrant's own lease bounds its interest: re-registering
-		// renews it, silence lets it lapse (swept by maintenance and by
-		// the LDT fan-out itself).
-		reg := registration{entry: m.Self}
-		if m.Self.TTLMilli > 0 {
-			reg.hasTTL = true
-			reg.expires = time.Now().Add(time.Duration(m.Self.TTLMilli) * time.Millisecond)
-		}
-		n.mu.Lock()
-		n.registry[m.Self.Key] = reg
-		n.mu.Unlock()
-		n.logf("register from %v (%s)", m.Self.Key, m.Self.Addr)
-		return &wire.Message{Type: wire.TRegisterAck, Seq: m.Seq, Found: true}
+		return n.handleRegister(m)
 
 	case wire.TUpdate:
 		n.handleUpdate(m)
@@ -563,638 +550,4 @@ func (n *Node) handle(m *wire.Message) *wire.Message {
 		n.logf("dropping unknown message type %v", m.Type)
 		return nil
 	}
-}
-
-func (n *Node) handleJoin(m *wire.Message) *wire.Message {
-	n.mu.Lock()
-	n.updatePeerLocked(m.Self)
-	entries := n.knownEntriesLocked()
-	n.mu.Unlock()
-	n.logf("join from %v (%s)", m.Self.Key, m.Self.Addr)
-	return &wire.Message{Type: wire.TJoinResp, Seq: m.Seq, Found: true, Entries: entries}
-}
-
-// applyPublishLocked ingests one published record under newest-epoch-
-// wins: a record whose epoch is older than the live one already stored
-// is the ghost of a pre-move publication (a frame transport.Faulty
-// delayed or duplicated) and must not resurrect the old address. A
-// record whose lease has lapsed no longer outranks anything. Caller
-// holds n.mu; reports whether the record was stored.
-func (n *Node) applyPublishLocked(e wire.Entry, now time.Time) bool {
-	if old, ok := n.store[e.Key]; ok && old.valid(now) && old.epoch > e.Epoch {
-		return false
-	}
-	rec := storedLoc{addr: e.Addr, epoch: e.Epoch}
-	if e.TTLMilli > 0 {
-		rec.hasTTL = true
-		rec.expires = now.Add(time.Duration(e.TTLMilli) * time.Millisecond)
-	}
-	n.store[e.Key] = rec
-	return true
-}
-
-func (n *Node) handlePublish(m *wire.Message) {
-	n.mu.Lock()
-	ok := n.applyPublishLocked(m.Self, time.Now())
-	if ok {
-		// A publisher is also a live peer worth knowing about.
-		n.updatePeerLocked(m.Self)
-	}
-	n.mu.Unlock()
-	n.count("publish.records")
-	if ok {
-		n.count("publish.accepted")
-		n.logf("stored location of %v → %s (epoch %d)", m.Self.Key, m.Self.Addr, m.Self.Epoch)
-	} else {
-		n.count("publish.stale_rejected")
-		n.logf("rejected stale publish of %v → %s (epoch %d)", m.Self.Key, m.Self.Addr, m.Self.Epoch)
-	}
-}
-
-// handlePublishBatch ingests a multi-record publish atomically: every
-// record lands (or is rejected as stale) under one hold of the protocol
-// mutex, so a discover served concurrently sees either none or all of
-// the batch — never a half-moved key set.
-func (n *Node) handlePublishBatch(m *wire.Message) {
-	now := time.Now()
-	accepted := 0
-	n.mu.Lock()
-	for _, e := range m.Entries {
-		if n.applyPublishLocked(e, now) {
-			accepted++
-		}
-	}
-	n.updatePeerLocked(m.Self)
-	n.mu.Unlock()
-	n.cfg.Counters.Add("publish.records", uint64(len(m.Entries)))
-	n.cfg.Counters.Add("publish.accepted", uint64(accepted))
-	if rejected := len(m.Entries) - accepted; rejected > 0 {
-		n.cfg.Counters.Add("publish.stale_rejected", uint64(rejected))
-	}
-	n.logf("batch publish from %v: %d records, %d accepted (epoch %d)",
-		m.Self.Key, len(m.Entries), accepted, m.Self.Epoch)
-}
-
-// updatePeerLocked records e in the membership map under newest-epoch-
-// wins: an entry carrying an older epoch than the one already known is
-// out-of-order news and is dropped. Caller holds n.mu.
-func (n *Node) updatePeerLocked(e wire.Entry) {
-	if cur, ok := n.peers[e.Key]; ok && cur.Epoch > e.Epoch {
-		return
-	}
-	n.peers[e.Key] = e
-}
-
-// handleDiscover answers a _discovery from this node's repository
-// fragment (store) only. Serving an answer deliberately does NOT write
-// the node's own location cache: the server merely relayed a record it
-// owns — it expressed no interest in the key, and polluting its cache
-// here would let third-party queries evict its own working set.
-//
-// The response carries the record's remaining lease, so the querier's
-// cache entry expires exactly when the repository record does — without
-// it, late-binding results would never go stale client-side.
-func (n *Node) handleDiscover(m *wire.Message) *wire.Message {
-	n.mu.Lock()
-	rec, ok := n.store[m.Key]
-	n.mu.Unlock()
-	resp := &wire.Message{Type: wire.TDiscoverResp, Seq: m.Seq, Key: m.Key}
-	if ok && rec.valid(time.Now()) {
-		resp.Found = true
-		resp.Self = wire.Entry{Key: m.Key, Addr: rec.addr, TTLMilli: remainingTTLMilli(rec), Epoch: rec.epoch}
-	}
-	return resp
-}
-
-// remainingTTLMilli converts a stored record's remaining lease into the
-// wire's millisecond form: 0 means "no lease", so a live-but-nearly-done
-// lease clamps up to 1ms rather than becoming immortal, and durations
-// beyond the uint32 range saturate.
-func remainingTTLMilli(rec storedLoc) uint32 {
-	if !rec.hasTTL {
-		return 0
-	}
-	ms := time.Until(rec.expires) / time.Millisecond
-	switch {
-	case ms < 1:
-		return 1
-	case ms > math.MaxUint32:
-		return math.MaxUint32
-	}
-	return uint32(ms)
-}
-
-// handleUpdate ingests a proactive location push (early binding). The
-// subject's new address belongs in the location *cache* — this node
-// registered interest and learned where the subject moved — not in the
-// repository (store): the pushing node is not publishing to us as an
-// owner, and serving this hearsay to _discovery queries would bypass the
-// replica placement. The write-through shares one source of truth with
-// late-binding discover results.
-func (n *Node) handleUpdate(m *wire.Message) {
-	n.count("updates.received")
-	n.mu.Lock()
-	if seen, ok := n.seenUpdates[m.Self.Key]; ok && seen > m.Self.Epoch {
-		n.mu.Unlock()
-		// An out-of-order push (delayed or duplicated by the network): the
-		// subject has already moved past this address. Applying it would
-		// regress every resolver behind this node's cache — and recursing
-		// would spread the regression down the delegated subtree.
-		n.count("updates.stale_rejected")
-		n.logf("rejected stale update: %v → %s (epoch %d, seen %d)",
-			m.Self.Key, m.Self.Addr, m.Self.Epoch, n.seenEpoch(m.Self.Key))
-		return
-	}
-	n.seenUpdates[m.Self.Key] = m.Self.Epoch
-	n.updatePeerLocked(m.Self)
-	n.mu.Unlock()
-	n.count("updates.applied")
-	if n.loc != nil {
-		// Epoch-aware write-through: belt and braces under the seenUpdates
-		// guard — a concurrent discover fill for the same key races this
-		// write, and the cache's own newest-epoch-wins breaks the tie.
-		n.loc.PutEpoch(m.Self.Key, m.Self.Addr, time.Duration(m.Self.TTLMilli)*time.Millisecond, m.Self.Epoch)
-	}
-	select {
-	case n.updates <- Update{Key: m.Self.Key, Addr: m.Self.Addr}:
-	default:
-		// Applications that don't drain updates must not block the tree —
-		// but the loss has to be observable, not silent.
-		n.count("updates.dropped")
-		n.logf("updates channel full; dropped update for %v (%s)", m.Self.Key, m.Self.Addr)
-	}
-	n.logf("location update: %v now at %s, delegating %d", m.Self.Key, m.Self.Addr, len(m.Entries))
-	// Re-advertise to the delegated subtree (Figure 4 recursion) through
-	// the coalescing queue: the handler returns immediately, the flusher
-	// sends under the node's lifecycle context — a Close mid-fan-out
-	// aborts the recursion instead of stalling behind it.
-	if len(m.Entries) > 0 {
-		n.advertise(m.Self, m.Entries)
-	}
-}
-
-// seenEpoch reads the newest ingested update epoch for key (logging
-// helper). Caller must NOT hold n.mu.
-func (n *Node) seenEpoch(key hashkey.Key) uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.seenUpdates[key]
-}
-
-func (n *Node) handleLeafExchange(m *wire.Message) *wire.Message {
-	n.mu.Lock()
-	for _, e := range m.Entries {
-		n.mergePeerLocked(e)
-	}
-	entries := n.knownEntriesLocked()
-	n.mu.Unlock()
-	return &wire.Message{Type: wire.TLeafExchange, Seq: m.Seq, Found: true, Entries: entries}
-}
-
-// mergePeerLocked adopts a gossiped peer entry if the key is unknown or
-// the entry carries a strictly newer epoch (the ordering makes adopting
-// hearsay safe: a newer epoch is a later binding by definition, so merge
-// stays idempotent and can never regress an address).
-func (n *Node) mergePeerLocked(e wire.Entry) {
-	if e.Key == n.key {
-		return
-	}
-	if cur, known := n.peers[e.Key]; !known || e.Epoch > cur.Epoch {
-		n.peers[e.Key] = e
-	}
-}
-
-func (n *Node) knownEntriesLocked() []wire.Entry {
-	out := make([]wire.Entry, 0, len(n.peers))
-	for _, e := range n.peers {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
-}
-
-// KnownPeers returns the node's current membership view (including
-// itself), sorted by key.
-func (n *Node) KnownPeers() []wire.Entry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.knownEntriesLocked()
-}
-
-// Registry returns R(self): the entries registered as interested in this
-// node's movement whose lease has not lapsed.
-func (n *Node) Registry() []wire.Entry {
-	now := time.Now()
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]wire.Entry, 0, len(n.registry))
-	for _, r := range n.registry {
-		if r.live(now) {
-			out = append(out, r.entry)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
-}
-
-// sweepRegistryLocked drops registrations whose lease lapsed before now,
-// returning how many were removed. Caller holds n.mu.
-func (n *Node) sweepRegistryLocked(now time.Time) int {
-	removed := 0
-	for key, r := range n.registry {
-		if !r.live(now) {
-			delete(n.registry, key)
-			removed++
-		}
-	}
-	return removed
-}
-
-// SweepRegistry drops registrations whose lease has lapsed and returns
-// how many were removed (counted as registry.expired). StartMaintenance
-// calls it periodically; the LDT fan-out also sweeps inline, so the
-// periodic sweep only bounds how long a dead registrant occupies memory.
-func (n *Node) SweepRegistry() int {
-	now := time.Now()
-	n.mu.Lock()
-	removed := n.sweepRegistryLocked(now)
-	n.mu.Unlock()
-	if removed > 0 {
-		n.cfg.Counters.Add("registry.expired", uint64(removed))
-		n.logf("swept %d lapsed registrations", removed)
-	}
-	return removed
-}
-
-// --- client-side operations ---
-// (request and oneWay live in rpc.go: retry/backoff + circuit breakers,
-// multiplexed over the connection pool in pool.go.)
-
-// JoinVia calls JoinViaContext with the background context.
-func (n *Node) JoinVia(bootstrapAddr string) error {
-	return n.JoinViaContext(context.Background(), bootstrapAddr)
-}
-
-// JoinViaContext contacts a bootstrap node, announces this node, and
-// adopts the returned membership.
-func (n *Node) JoinViaContext(ctx context.Context, bootstrapAddr string) error {
-	resp, err := n.request(ctx, bootstrapAddr, &wire.Message{Type: wire.TJoin, Self: n.SelfEntry()})
-	if err != nil {
-		return fmt.Errorf("live: join via %s: %w", bootstrapAddr, err)
-	}
-	if resp.Type != wire.TJoinResp || !resp.Found {
-		return fmt.Errorf("live: join rejected by %s", bootstrapAddr)
-	}
-	n.mu.Lock()
-	for _, e := range resp.Entries {
-		n.mergePeerLocked(e)
-	}
-	n.mu.Unlock()
-	return nil
-}
-
-// GossipOnce performs one anti-entropy round with a random known peer,
-// exchanging membership views. Returns the number of entries learned.
-func (n *Node) GossipOnce(rng *rand.Rand) (int, error) {
-	n.mu.Lock()
-	var others []wire.Entry
-	for k, e := range n.peers {
-		if k != n.key {
-			others = append(others, e)
-		}
-	}
-	mine := n.knownEntriesLocked()
-	before := len(n.peers)
-	n.mu.Unlock()
-	if len(others) == 0 {
-		return 0, nil
-	}
-	sort.Slice(others, func(i, j int) bool { return others[i].Key < others[j].Key })
-	// Prefer partners that are not currently suspect; fall back to the
-	// full set so an all-suspect view still gossips (and probes).
-	healthy := others[:0:0]
-	for _, e := range others {
-		if !n.suspect(e.Addr) {
-			healthy = append(healthy, e)
-		}
-	}
-	if len(healthy) > 0 {
-		others = healthy
-	}
-	target := others[rng.Intn(len(others))]
-	resp, err := n.request(context.Background(), target.Addr, &wire.Message{Type: wire.TLeafExchange, Entries: mine})
-	if err != nil {
-		return 0, err
-	}
-	n.mu.Lock()
-	for _, e := range resp.Entries {
-		n.mergePeerLocked(e)
-	}
-	after := len(n.peers)
-	n.mu.Unlock()
-	return after - before, nil
-}
-
-// stationaryPeersLocked snapshots the known stationary peers — the only
-// legal owners of location records (Section 2.1; mobile peers' addresses
-// are exactly what's being resolved). Caller holds n.mu.
-func (n *Node) stationaryPeersLocked() []wire.Entry {
-	var cands []wire.Entry
-	for _, e := range n.peers {
-		if !e.Mobile {
-			cands = append(cands, e)
-		}
-	}
-	return cands
-}
-
-// ownersForKey picks the k candidates closest to key, healthy replicas
-// first (suspect is a pre-sampled breaker snapshot, so a batched publish
-// ranks thousands of keys without re-locking the breaker table per key).
-// cands is re-sorted in place: the returned slice aliases it and must be
-// consumed before the next call.
-func ownersForKey(cands []wire.Entry, suspect map[string]bool, key hashkey.Key, k int) []wire.Entry {
-	sort.Slice(cands, func(i, j int) bool {
-		return hashkey.Closer(key, cands[i].Key, cands[j].Key)
-	})
-	if k > len(cands) {
-		k = len(cands)
-	}
-	owners := cands[:k]
-	sort.SliceStable(owners, func(i, j int) bool {
-		return !suspect[owners[i].Addr] && suspect[owners[j].Addr]
-	})
-	return owners
-}
-
-// suspectSnapshot samples every candidate's breaker once, so replica
-// ordering cannot flap mid-batch.
-func (n *Node) suspectSnapshot(cands []wire.Entry) map[string]bool {
-	suspect := make(map[string]bool, len(cands))
-	for _, e := range cands {
-		if _, ok := suspect[e.Addr]; !ok {
-			suspect[e.Addr] = n.suspect(e.Addr)
-		}
-	}
-	return suspect
-}
-
-// ownersOf returns the k known *stationary* peers closest to key,
-// replicated for §2.3.2 availability. Within the replica set, peers
-// whose circuit breaker is open sort last, so publish and discovery fall
-// over across replicas in suspicion-aware order and pay the suspect
-// peers' timeouts only when every healthy replica failed.
-func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
-	n.mu.Lock()
-	cands := n.stationaryPeersLocked()
-	n.mu.Unlock()
-	if len(cands) == 0 {
-		return nil, errors.New("live: no known stationary peers")
-	}
-	return ownersForKey(cands, n.suspectSnapshot(cands), key, k), nil
-}
-
-// publishBatchMax bounds the records per TPublishBatch frame, keeping a
-// worst-case frame comfortably under wire.MaxFrame.
-const publishBatchMax = 8192
-
-// Publish calls PublishContext with the background context.
-func (n *Node) Publish() error { return n.PublishContext(context.Background()) }
-
-// PublishContext pushes this node's current address — and every record
-// in its owned set — to the owners of each key (the paper's location
-// publication, k-replicated). Records are grouped by owner replica so a
-// move re-homes N keys in O(replicas) RPCs, not O(N): each distinct
-// replica address receives one TPublishBatch (chunked at
-// publishBatchMax) ingested atomically on the far side. A node owning
-// nothing beyond its identity key sends the classic single-record
-// TPublish. It succeeds when every record was stored at ≥1 replica.
-func (n *Node) PublishContext(ctx context.Context) error {
-	now := time.Now()
-	n.mu.Lock()
-	self := n.selfEntryLocked()
-	records := make([]wire.Entry, 0, 1+len(n.owned))
-	records = append(records, self)
-	for k := range n.owned {
-		records = append(records, wire.Entry{Key: k, Addr: n.addr, TTLMilli: self.TTLMilli, Epoch: n.epoch})
-	}
-	cands := n.stationaryPeersLocked()
-	n.mu.Unlock()
-	if len(cands) == 0 {
-		return errors.New("live: no known stationary peers")
-	}
-	sort.Slice(records, func(i, j int) bool { return records[i].Key < records[j].Key })
-	suspect := n.suspectSnapshot(cands)
-
-	// Group every record's replica set by owner address. Self-owned
-	// records (a stationary node can be its own replica) are ingested
-	// locally without a frame.
-	groups := make(map[string][]wire.Entry)
-	var order []string
-	var selfRecs []wire.Entry
-	for _, rec := range records {
-		for _, owner := range ownersForKey(cands, suspect, rec.Key, n.cfg.Replication) {
-			if owner.Key == n.key {
-				selfRecs = append(selfRecs, rec)
-				continue
-			}
-			if _, ok := groups[owner.Addr]; !ok {
-				order = append(order, owner.Addr)
-			}
-			groups[owner.Addr] = append(groups[owner.Addr], rec)
-		}
-	}
-
-	stored := make(map[hashkey.Key]int, len(records)) // replicas holding each record
-	if len(selfRecs) > 0 {
-		accepted := 0
-		n.mu.Lock()
-		for _, rec := range selfRecs {
-			if n.applyPublishLocked(rec, now) {
-				accepted++
-				stored[rec.Key]++
-			}
-		}
-		n.mu.Unlock()
-		n.cfg.Counters.Add("publish.records", uint64(len(selfRecs)))
-		n.cfg.Counters.Add("publish.accepted", uint64(accepted))
-		if rej := len(selfRecs) - accepted; rej > 0 {
-			n.cfg.Counters.Add("publish.stale_rejected", uint64(rej))
-		}
-	}
-
-	type chunkResult struct {
-		recs []wire.Entry
-		err  error
-	}
-	results := make(chan chunkResult)
-	outstanding := 0
-	for _, addr := range order {
-		recs := groups[addr]
-		outstanding += (len(recs) + publishBatchMax - 1) / publishBatchMax
-		go func(addr string, recs []wire.Entry) {
-			for start := 0; start < len(recs); start += publishBatchMax {
-				end := start + publishBatchMax
-				if end > len(recs) {
-					end = len(recs)
-				}
-				chunk := recs[start:end]
-				// Each replica gets its own message: Seq is stamped per
-				// exchange, so concurrent fan-out must not share frames.
-				msg := &wire.Message{Type: wire.TPublishBatch, Self: self, Entries: chunk}
-				if len(records) == 1 {
-					// Nothing owned beyond the identity key: keep the
-					// classic single-record publish on the wire.
-					msg = &wire.Message{Type: wire.TPublish, Self: self}
-				}
-				n.count("publish.rpcs")
-				resp, err := n.request(ctx, addr, msg)
-				switch {
-				case err != nil:
-					results <- chunkResult{chunk, fmt.Errorf("live: publish to %s: %w", addr, err)}
-				case resp.Type != wire.TPublishAck:
-					results <- chunkResult{chunk, fmt.Errorf("live: unexpected publish response %v", resp.Type)}
-				default:
-					results <- chunkResult{chunk, nil}
-				}
-			}
-		}(addr, recs)
-	}
-	var lastErr error
-	for i := 0; i < outstanding; i++ {
-		r := <-results
-		if r.err != nil {
-			lastErr = r.err
-			continue
-		}
-		for _, rec := range r.recs {
-			stored[rec.Key]++
-		}
-	}
-	missing := 0
-	for _, rec := range records {
-		if stored[rec.Key] == 0 {
-			missing++
-		}
-	}
-	if missing > 0 {
-		if lastErr != nil {
-			return fmt.Errorf("live: publish: %d of %d records stored nowhere: %w", missing, len(records), lastErr)
-		}
-		return fmt.Errorf("live: publish: %d of %d records stored nowhere", missing, len(records))
-	}
-	return nil
-}
-
-// (Discover, DiscoverContext, Resolve, and ResolveContext live in
-// resolve.go: cache-first resolution with singleflight discovery.)
-
-// RegisterWith calls RegisterWithContext with the background context.
-func (n *Node) RegisterWith(targetAddr string) error {
-	return n.RegisterWithContext(context.Background(), targetAddr)
-}
-
-// RegisterWithContext records this node's interest in the movement of the
-// node currently reachable at targetAddr.
-func (n *Node) RegisterWithContext(ctx context.Context, targetAddr string) error {
-	resp, err := n.request(ctx, targetAddr, &wire.Message{Type: wire.TRegister, Self: n.SelfEntry()})
-	if err != nil {
-		return fmt.Errorf("live: register with %s: %w", targetAddr, err)
-	}
-	if resp.Type != wire.TRegisterAck || !resp.Found {
-		return fmt.Errorf("live: registration rejected by %s", targetAddr)
-	}
-	return nil
-}
-
-// Rebind calls RebindContext with the background context.
-func (n *Node) Rebind(listenAddr string) error {
-	return n.RebindContext(context.Background(), listenAddr)
-}
-
-// RebindContext moves a mobile node to a new listener (a new network
-// attachment point), republishes its location, and pushes the update
-// through its dissemination tree. Connections accepted through the old
-// attachment point close with it, exactly as a real relocation severs
-// them.
-func (n *Node) RebindContext(ctx context.Context, listenAddr string) error {
-	if !n.cfg.Mobile {
-		return errors.New("live: node is not mobile")
-	}
-	newL, err := n.tr.Listen(listenAddr)
-	if err != nil {
-		return err
-	}
-	ls := newListenerState(newL)
-	n.mu.Lock()
-	old := n.listener
-	n.listener = ls
-	n.addr = ls.addr()
-	// The new binding supersedes every frame sent for the old one: bump
-	// the epoch before any peer can learn the new address, so a delayed
-	// or duplicated pre-move frame can never displace it anywhere.
-	n.epoch = nextEpoch(n.epoch)
-	n.peers[n.key] = n.selfEntryLocked()
-	n.mu.Unlock()
-	if old != nil {
-		old.close() // the old attachment point disappears
-	}
-	n.wg.Add(1)
-	go n.acceptLoop(ls)
-	n.logf("rebound to %s", n.Addr())
-
-	if err := n.PublishContext(ctx); err != nil {
-		return err
-	}
-	return n.UpdateRegistryContext(ctx)
-}
-
-// (UpdateRegistry, UpdateRegistryContext, and the recursive advertise
-// live in advertise.go: LDT fan-out through the coalescing update queue.)
-
-// CachedAddr returns this node's cached address for key, if its lease is
-// still fresh. A read-only probe: it neither promotes the entry nor
-// records cache metrics.
-func (n *Node) CachedAddr(key hashkey.Key) (string, bool) {
-	if n.loc == nil {
-		return "", false
-	}
-	addr, state := n.loc.Peek(key)
-	if state != loccache.Fresh {
-		return "", false
-	}
-	return addr, true
-}
-
-// CacheEntries reports how many entries the location cache currently
-// holds (0 when the cache is disabled).
-func (n *Node) CacheEntries() int {
-	if n.loc == nil {
-		return 0
-	}
-	return n.loc.Len()
-}
-
-// Ping calls PingContext with the background context.
-func (n *Node) Ping(addr string) error { return n.PingContext(context.Background(), addr) }
-
-// PingContext checks liveness of a peer address.
-func (n *Node) PingContext(ctx context.Context, addr string) error {
-	resp, err := n.request(ctx, addr, &wire.Message{Type: wire.TPing})
-	if err != nil {
-		return err
-	}
-	if resp.Type != wire.TPong {
-		return fmt.Errorf("live: unexpected ping response %v", resp.Type)
-	}
-	return nil
-}
-
-// PoolSessions reports how many pooled peer sessions are currently open
-// (0 when pooling is disabled).
-func (n *Node) PoolSessions() int {
-	if n.pool == nil {
-		return 0
-	}
-	return n.pool.sessionCount()
 }

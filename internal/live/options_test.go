@@ -75,7 +75,7 @@ func TestNewWithoutPool(t *testing.T) {
 	if n.pool != nil {
 		t.Error("WithoutPool should leave the node unpooled")
 	}
-	if got := n.PoolSessions(); got != 0 {
+	if got := n.Stats().PoolSessions; got != 0 {
 		t.Errorf("PoolSessions on unpooled node = %d, want 0", got)
 	}
 }

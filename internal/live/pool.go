@@ -9,12 +9,19 @@ package live
 // fail their waiters with retryable errors, and are transparently
 // re-dialed by the next attempt, composing with the retry/backoff and
 // circuit-breaker machinery in rpc.go.
+//
+// The session table is sharded by peer address (same FNV-1a layout as the
+// breaker table): acquiring a session for one peer never contends with
+// exchanges against peers in other shards. The global MaxSessions cap is
+// enforced with an atomic reservation counter rather than a pool-wide
+// lock.
 
 import (
 	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bristle/internal/metrics"
@@ -61,16 +68,22 @@ var errPoolSaturated = errors.New("live: pool saturated")
 // an idle session has no waiters).
 var errSessionIdle = errors.New("live: session idle-evicted")
 
-// pool owns at most one session per peer address.
+// poolShard is one slice of the per-peer session table.
+type poolShard struct {
+	mu sync.Mutex
+	m  map[string]*session
+}
+
+// pool owns at most one session per peer address, sharded by address.
 type pool struct {
 	tr       transport.Transport
 	cfg      PoolConfig
 	counters *metrics.Counters
 	gauges   *metrics.Gauges
 
-	mu       sync.Mutex
-	closed   bool
-	sessions map[string]*session
+	closed atomic.Bool
+	nsess  atomic.Int64 // reserved session slots (the MaxSessions cap)
+	shards [stateShards]poolShard
 
 	stopJanitor chan struct{}
 	wg          sync.WaitGroup // janitor + per-session read/write loops
@@ -82,7 +95,9 @@ func newPool(tr transport.Transport, cfg PoolConfig, counters *metrics.Counters,
 		cfg:      cfg.withDefaults(),
 		counters: counters,
 		gauges:   gauges,
-		sessions: make(map[string]*session),
+	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]*session)
 	}
 	if p.cfg.IdleTimeout > 0 {
 		p.stopJanitor = make(chan struct{})
@@ -92,8 +107,19 @@ func newPool(tr transport.Transport, cfg PoolConfig, counters *metrics.Counters,
 	return p
 }
 
-func (p *pool) count(name string)          { p.counters.Inc(name) }
+func (p *pool) count(name string)             { p.counters.Inc(name) }
 func (p *pool) gaugeAdd(name string, d int64) { p.gauges.Add(name, d) }
+
+// shard selects addr's slice of the session table (FNV-1a, like the
+// breaker table).
+func (p *pool) shard(addr string) *poolShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint32(addr[i])
+		h *= 16777619
+	}
+	return &p.shards[h&(stateShards-1)]
+}
 
 // session is one peer's long-lived multiplexed connection.
 type session struct {
@@ -119,24 +145,54 @@ type session struct {
 
 // acquire returns a live session for addr, dialing one if absent. The
 // creator dials inline (bounded by its ctx); concurrent acquirers of the
-// same address wait for that dial instead of racing their own.
+// same address wait for that dial instead of racing their own. At the
+// MaxSessions cap the least-recently-used idle session is evicted and
+// the acquire retried; with no idle victim the pool reports saturation
+// and the caller falls back to a one-shot dial.
 func (p *pool) acquire(ctx context.Context, addr string) (*session, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, ErrPoolClosed
-	}
-	s, ok := p.sessions[addr]
-	var victim *session
-	if !ok {
-		if len(p.sessions) >= p.cfg.MaxSessions {
-			if victim = p.lruIdleLocked(); victim == nil {
-				p.mu.Unlock()
+	// Bounded retry: each round either returns, fails, or has evicted an
+	// idle victim (freeing a slot that a rival may steal first).
+	for tries := 0; tries < 4; tries++ {
+		if p.closed.Load() {
+			return nil, ErrPoolClosed
+		}
+		sh := p.shard(addr)
+		sh.mu.Lock()
+		// Close CAS-marks closed before sweeping the shards, so an acquire
+		// that sees closed==false here either beats the sweep (its session
+		// is swept and torn down with the rest) or observes closed==true.
+		if p.closed.Load() {
+			sh.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		if s, ok := sh.m[addr]; ok {
+			sh.mu.Unlock()
+			select {
+			case <-s.ready:
+			case <-s.done:
+				return nil, s.teardownErr()
+			case <-ctx.Done():
+				return nil, fmt.Errorf("live: pooled dial %s: %w", addr, ctx.Err())
+			}
+			if s.dialErr != nil {
+				return nil, s.dialErr
+			}
+			return s, nil
+		}
+		// Absent: reserve a slot before inserting, so the cap holds
+		// globally without a pool-wide lock.
+		if p.nsess.Add(1) > int64(p.cfg.MaxSessions) {
+			p.nsess.Add(-1)
+			sh.mu.Unlock()
+			victim := p.lruIdle()
+			if victim == nil {
 				return nil, errPoolSaturated
 			}
-			delete(p.sessions, victim.addr)
+			p.count("pool.evictions.cap")
+			victim.teardown(errSessionIdle) // its drop releases the slot
+			continue
 		}
-		s = &session{
+		s := &session{
 			p:       p,
 			addr:    addr,
 			ready:   make(chan struct{}),
@@ -145,29 +201,12 @@ func (p *pool) acquire(ctx context.Context, addr string) (*session, error) {
 			pending: make(map[uint32]chan *wire.Message),
 			lastUse: time.Now(),
 		}
-		p.sessions[addr] = s
-		p.gauges.Set("pool.sessions", int64(len(p.sessions)))
-	}
-	p.mu.Unlock()
-
-	if victim != nil {
-		p.count("pool.evictions.cap")
-		victim.teardown(errSessionIdle)
-	}
-	if !ok {
+		sh.m[addr] = s
+		p.gauges.Set("pool.sessions", p.nsess.Load())
+		sh.mu.Unlock()
 		return s, s.dial(ctx)
 	}
-	select {
-	case <-s.ready:
-	case <-s.done:
-		return nil, s.teardownErr()
-	case <-ctx.Done():
-		return nil, fmt.Errorf("live: pooled dial %s: %w", addr, ctx.Err())
-	}
-	if s.dialErr != nil {
-		return nil, s.dialErr
-	}
-	return s, nil
+	return nil, errPoolSaturated
 }
 
 // dial is run once, by the session's creator. On success it starts the
@@ -393,29 +432,38 @@ func (p *pool) send(ctx context.Context, addr string, m *wire.Message) error {
 	return s.send(ctx, m)
 }
 
-// drop forgets s unless a newer session already replaced it.
+// drop forgets s unless a newer session already replaced it, releasing
+// its slot reservation. The identity check makes the double-drop from
+// the dial-failure path (drop + teardown→drop) harmless.
 func (p *pool) drop(s *session) {
-	p.mu.Lock()
-	if p.sessions[s.addr] == s {
-		delete(p.sessions, s.addr)
+	sh := p.shard(s.addr)
+	sh.mu.Lock()
+	if sh.m[s.addr] == s {
+		delete(sh.m, s.addr)
+		p.gauges.Set("pool.sessions", p.nsess.Add(-1))
 	}
-	p.gauges.Set("pool.sessions", int64(len(p.sessions)))
-	p.mu.Unlock()
+	sh.mu.Unlock()
 }
 
-// lruIdleLocked returns the least-recently-used session with nothing in
-// flight, or nil. Caller holds p.mu.
-func (p *pool) lruIdleLocked() *session {
+// lruIdle returns the least-recently-used session with nothing in
+// flight, or nil. Shards are scanned one at a time; the answer is a best
+// effort under concurrent churn, which eviction tolerates by design.
+func (p *pool) lruIdle() *session {
 	var oldest *session
 	var oldestUse time.Time
-	for _, s := range p.sessions {
-		s.mu.Lock()
-		idle := !s.torn && s.inflight == 0
-		use := s.lastUse
-		s.mu.Unlock()
-		if idle && (oldest == nil || use.Before(oldestUse)) {
-			oldest, oldestUse = s, use
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.m {
+			s.mu.Lock()
+			idle := !s.torn && s.inflight == 0
+			use := s.lastUse
+			s.mu.Unlock()
+			if idle && (oldest == nil || use.Before(oldestUse)) {
+				oldest, oldestUse = s, use
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return oldest
 }
@@ -439,17 +487,20 @@ func (p *pool) janitor() {
 }
 
 func (p *pool) evictIdle(now time.Time) {
-	p.mu.Lock()
 	var victims []*session
-	for _, s := range p.sessions {
-		s.mu.Lock()
-		idle := !s.torn && s.inflight == 0 && now.Sub(s.lastUse) >= p.cfg.IdleTimeout
-		s.mu.Unlock()
-		if idle {
-			victims = append(victims, s)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.m {
+			s.mu.Lock()
+			idle := !s.torn && s.inflight == 0 && now.Sub(s.lastUse) >= p.cfg.IdleTimeout
+			s.mu.Unlock()
+			if idle {
+				victims = append(victims, s)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	p.mu.Unlock()
 	for _, s := range victims {
 		p.count("pool.evictions.idle")
 		s.teardown(errSessionIdle)
@@ -457,28 +508,26 @@ func (p *pool) evictIdle(now time.Time) {
 }
 
 // sessionCount reports the current number of pooled sessions.
-func (p *pool) sessionCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.sessions)
-}
+func (p *pool) sessionCount() int { return int(p.nsess.Load()) }
 
 // Close tears down every session and stops the janitor, then waits for
 // all pool goroutines to exit. Idempotent.
 func (p *pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
-	p.closed = true
-	victims := make([]*session, 0, len(p.sessions))
-	for _, s := range p.sessions {
-		victims = append(victims, s)
+	var victims []*session
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.m {
+			victims = append(victims, s)
+		}
+		sh.m = make(map[string]*session)
+		sh.mu.Unlock()
 	}
-	p.sessions = make(map[string]*session)
+	p.nsess.Store(0)
 	p.gauges.Set("pool.sessions", 0)
-	p.mu.Unlock()
 	if p.stopJanitor != nil {
 		close(p.stopJanitor)
 	}

@@ -84,7 +84,7 @@ func TestPoolConcurrentDemuxUnderFaults(t *testing.T) {
 		t.Errorf("ping under faults: %v", err)
 	}
 
-	if got := client.PoolSessions(); got != 1 {
+	if got := client.Stats().PoolSessions; got != 1 {
 		t.Errorf("PoolSessions = %d, want 1 (one peer)", got)
 	}
 	if got := gauges.Get("pool.inflight"); got != 0 {
@@ -152,14 +152,14 @@ func TestPoolIdleEviction(t *testing.T) {
 	if err := client.PingContext(ctx, server.l.Addr()); err != nil {
 		t.Fatal(err)
 	}
-	if got := client.PoolSessions(); got != 1 {
+	if got := client.Stats().PoolSessions; got != 1 {
 		t.Fatalf("PoolSessions after ping = %d, want 1", got)
 	}
 
 	deadline := time.Now().Add(2 * time.Second)
-	for client.PoolSessions() != 0 {
+	for client.Stats().PoolSessions != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("idle session never evicted; sessions=%d", client.PoolSessions())
+			t.Fatalf("idle session never evicted; sessions=%d", client.Stats().PoolSessions)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -196,7 +196,7 @@ func TestPoolRedialAfterBrokenSession(t *testing.T) {
 
 	// The client's read loop notices and tears the session down.
 	deadline := time.Now().Add(2 * time.Second)
-	for client.PoolSessions() != 0 {
+	for client.Stats().PoolSessions != 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("broken session never torn down")
 		}

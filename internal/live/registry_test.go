@@ -92,10 +92,7 @@ func TestRegistrationLeaseExpires(t *testing.T) {
 	if got := ctrs.Get("registry.expired"); got != 1 {
 		t.Fatalf("registry.expired = %d, want 1", got)
 	}
-	target.mu.Lock()
-	stored := len(target.registry)
-	target.mu.Unlock()
-	if stored != 1 {
+	if stored := target.registry.size(); stored != 1 {
 		t.Fatalf("registry map holds %d entries after sweep, want 1", stored)
 	}
 	// The live registrant received the push the dead one missed.
@@ -158,10 +155,7 @@ func TestMaintenanceSweepsRegistry(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		target.mu.Lock()
-		stored := len(target.registry)
-		target.mu.Unlock()
-		if stored == 0 {
+		if target.registry.size() == 0 {
 			break
 		}
 		if time.Now().After(deadline) {

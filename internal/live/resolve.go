@@ -54,11 +54,6 @@ type CacheConfig struct {
 	StaleWindow time.Duration
 }
 
-// Resolve calls ResolveContext with the background context.
-func (n *Node) Resolve(key hashkey.Key) (string, error) {
-	return n.ResolveContext(context.Background(), key)
-}
-
 // ResolveContext resolves key's current address, cache first. A fresh
 // lease answers immediately; a stale one answers while a background
 // refresh re-resolves; a cache miss goes to the network through a
@@ -167,11 +162,6 @@ func (n *Node) refreshExpiring(topK int, window time.Duration) int {
 		}
 	}
 	return started
-}
-
-// Discover calls DiscoverContext with the background context.
-func (n *Node) Discover(key hashkey.Key) (string, error) {
-	return n.DiscoverContext(context.Background(), key)
 }
 
 // DiscoverContext resolves key's current address through the location

@@ -236,9 +236,9 @@ func TestStoreAndCacheRoles(t *testing.T) {
 	}
 
 	// Answering a discovery changes neither map.
-	before := n.CacheEntries()
+	before := n.Stats().CacheEntries
 	n.handleDiscover(&wire.Message{Type: wire.TDiscover, Key: published})
-	if n.CacheEntries() != before {
+	if n.Stats().CacheEntries != before {
 		t.Fatal("serving a discovery populated the server's own cache")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"bristle/internal/transport"
@@ -39,6 +40,54 @@ type breaker struct {
 	probeAt time.Time // when open: earliest next probe
 }
 
+// peerShard is one slice of the per-peer breaker table.
+type peerShard struct {
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+// peerTable holds every peer's circuit breaker, sharded by address hash:
+// an exchange's allow/record pair contends only with exchanges against
+// peers in the same shard, never with the whole fan-out of a publish.
+type peerTable struct {
+	shards [stateShards]peerShard
+}
+
+func (t *peerTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*breaker)
+	}
+}
+
+// shard selects addr's shard by FNV-1a — addresses are short strings, and
+// the keyed tables' mask trick needs a well-mixed integer first.
+func (t *peerTable) shard(addr string) *peerShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint32(addr[i])
+		h *= 16777619
+	}
+	return &t.shards[h&(stateShards-1)]
+}
+
+// suspectAddrs returns the addresses whose breakers are open or
+// half-open, sorted — the peers currently routed around.
+func (t *peerTable) suspectAddrs() []string {
+	var out []string
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for addr, b := range sh.m {
+			if b.state != bkClosed {
+				out = append(out, addr)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
 // count bumps a named counter on the node's registry (nil-safe).
 func (n *Node) count(name string) { n.cfg.Counters.Inc(name) }
 
@@ -50,9 +99,10 @@ func (n *Node) breakerAllow(addr string) error {
 	if n.cfg.SuspicionThreshold < 0 {
 		return nil
 	}
-	n.bmu.Lock()
-	defer n.bmu.Unlock()
-	b := n.breakers[addr]
+	sh := n.peersTbl.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.m[addr]
 	if b == nil || b.state == bkClosed {
 		return nil
 	}
@@ -72,16 +122,17 @@ func (n *Node) breakerResult(addr string, err error) {
 	if n.cfg.SuspicionThreshold < 0 {
 		return
 	}
-	n.bmu.Lock()
-	defer n.bmu.Unlock()
-	b := n.breakers[addr]
+	sh := n.peersTbl.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.m[addr]
 	if err == nil {
 		if b != nil {
 			if b.state != bkClosed {
 				n.count("breaker.closes")
 				n.logf("peer %s healthy again; breaker closed", addr)
 			}
-			delete(n.breakers, addr)
+			delete(sh.m, addr)
 		}
 		return
 	}
@@ -90,7 +141,7 @@ func (n *Node) breakerResult(addr string, err error) {
 	}
 	if b == nil {
 		b = &breaker{}
-		n.breakers[addr] = b
+		sh.m[addr] = b
 	}
 	b.fails++
 	if b.state == bkHalfOpen || b.fails >= n.cfg.SuspicionThreshold {
@@ -105,32 +156,19 @@ func (n *Node) breakerResult(addr string, err error) {
 
 // suspect reports whether addr's breaker is currently non-closed.
 func (n *Node) suspect(addr string) bool {
-	n.bmu.Lock()
-	defer n.bmu.Unlock()
-	b := n.breakers[addr]
+	sh := n.peersTbl.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.m[addr]
 	return b != nil && b.state != bkClosed
-}
-
-// Suspects returns the addresses whose circuit breakers are open or
-// half-open, sorted — the peers this node currently routes around.
-func (n *Node) Suspects() []string {
-	n.bmu.Lock()
-	defer n.bmu.Unlock()
-	var out []string
-	for addr, b := range n.breakers {
-		if b.state != bkClosed {
-			out = append(out, addr)
-		}
-	}
-	sort.Strings(out)
-	return out
 }
 
 // ProbeSuspects pings every suspect peer whose cooldown allows a probe;
 // a successful probe closes the breaker. Failures only refresh the
 // breaker's own state, so this is safe to call from a maintenance loop.
+// (The suspect list itself is surfaced through Stats().Suspects.)
 func (n *Node) ProbeSuspects() {
-	for _, addr := range n.Suspects() {
+	for _, addr := range n.peersTbl.suspectAddrs() {
 		if err := n.Ping(addr); err == nil {
 			n.logf("probe of suspect %s succeeded", addr)
 		}
@@ -239,11 +277,8 @@ func (n *Node) attemptDial(ctx context.Context, addr string, m *wire.Message) (*
 	// the socket deadline into the past the moment ctx fires.
 	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
 	defer stop()
-	n.mu.Lock()
-	n.seq++
-	m.Seq = n.seq
-	seq := m.Seq
-	n.mu.Unlock()
+	seq := n.seq.Add(1)
+	m.Seq = seq
 	if err := conn.Send(m); err != nil {
 		return nil, err
 	}
