@@ -5,7 +5,7 @@ BENCHTIME    ?= 100x
 GATETIME     ?= 1s
 SOAK_SECONDS ?= 60
 
-.PHONY: build test race bench bench-gate soak clean
+.PHONY: build test race bench bench-stretch bench-gate soak clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,17 @@ bench:
 	$(GO) run ./cmd/benchjson -suite publish -in bench_publish.txt -out BENCH_publish.json
 	@rm -f bench_publish.txt
 
+# bench-stretch records the proximity stretch evaluation: one 10k-router
+# transit-stub run per variant (full proximity stack, latency ordering
+# only, random baseline), identical seed and workload, with
+# median-stretch/p90-stretch/mean-cost captured into BENCH_stretch.json.
+# The runs are deterministic, so -benchtime 1x is the whole measurement.
+bench-stretch:
+	$(GO) test -run '^$$' -bench BenchmarkStretch -benchtime 1x \
+		./internal/stretch | tee bench_stretch.txt
+	$(GO) run ./cmd/benchjson -suite stretch -in bench_stretch.txt -out BENCH_stretch.json
+	@rm -f bench_stretch.txt
+
 # bench-gate re-measures the hot-path benchmarks and fails if any of them
 # regressed more than 20% in ns/op against the committed BENCH_*.json
 # baselines, gained allocations, or lost a zero-allocation guarantee.
@@ -39,7 +50,10 @@ bench:
 # allocation-free paths are gated: their timings are stable because they
 # never touch the GC, while alloc-heavy benchmarks (RegistryReadParallel
 # et al.) jitter past any useful threshold and are tracked via the
-# recorded BENCH_*.json reports instead.
+# recorded BENCH_*.json reports instead. The stretch leg gates on the
+# absolute stretch metrics (deterministic per seed, so enforceable as
+# hard bounds) rather than wall time, which varies with machine load —
+# hence the loose regress pct and -ignore-allocs.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkResolveHot|BenchmarkPublishIngestParallel' \
 		-benchtime $(GATETIME) -benchmem ./internal/live | tee bench_gate.txt
@@ -49,6 +63,16 @@ bench-gate:
 		-baselines BENCH_resolve.json,BENCH_publish.json \
 		-zero-alloc BenchmarkResolveHotParallel,BenchmarkPublishIngestParallel
 	@rm -f bench_gate.json
+	$(GO) test -run '^$$' -bench BenchmarkStretch -benchtime 1x \
+		./internal/stretch | tee stretch_gate.txt
+	$(GO) run ./cmd/benchjson -suite stretch -in stretch_gate.txt -out stretch_gate.json
+	@rm -f stretch_gate.txt
+	$(GO) run ./cmd/benchgate -new stretch_gate.json \
+		-baselines BENCH_stretch.json \
+		-ignore-allocs -max-regress-pct 100 \
+		-max-metric 'BenchmarkStretchProximity10k/median-stretch=1.5' \
+		-min-metric 'BenchmarkStretchRandom10k/median-stretch=1.2'
+	@rm -f stretch_gate.json
 
 # soak runs randomized seeded mobility/churn scenarios on the scenario
 # harness (internal/harness) under the race detector until the
@@ -61,4 +85,5 @@ soak:
 
 clean:
 	rm -f bench_resolve.txt BENCH_resolve.json bench_publish.txt BENCH_publish.json \
-		bench_gate.txt bench_gate.json
+		bench_gate.txt bench_gate.json bench_stretch.txt BENCH_stretch.json \
+		stretch_gate.txt stretch_gate.json

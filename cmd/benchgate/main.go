@@ -6,6 +6,16 @@
 // 0 allocs/op — the zero-allocation guarantees of the serve and resolve
 // paths as an enforced gate rather than a comment.
 //
+// Beyond relative comparisons, -max-metric and -min-metric assert
+// absolute bounds on custom b.ReportMetric columns, e.g.
+//
+//	-max-metric 'BenchmarkStretchProximity10k/median-stretch=1.5'
+//
+// fails unless that benchmark reports median-stretch/op ≤ 1.5 (and
+// -min-metric symmetrically enforces a floor — used to keep the
+// no-proximity baseline honest). A named benchmark or metric missing
+// from the fresh report is itself a violation.
+//
 // Usage:
 //
 //	go run ./cmd/benchgate -new /tmp/gate.json \
@@ -13,7 +23,11 @@
 //	    -zero-alloc BenchmarkResolveHotParallel,BenchmarkPublishIngestParallel
 //
 // Baselines are recorded by `make bench`; the gate is wired as
-// `make bench-gate` and runs in CI's bench-smoke job.
+// `make bench-gate` and runs in CI's bench-smoke job. A baseline file
+// that does not exist yet is skipped with a warning so a suite's first
+// recorded run can bootstrap itself; -ignore-allocs drops the
+// allocation comparison for suites (like the stretch evaluation) whose
+// per-op allocations are workload bookkeeping, not a guarded hot path.
 package main
 
 import (
@@ -21,19 +35,53 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 )
 
 type result struct {
-	Name     string  `json:"name"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	BPerOp   float64 `json:"b_per_op"`
-	AllocsOp int64   `json:"allocs_per_op"`
+	Name     string             `json:"name"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BPerOp   float64            `json:"b_per_op"`
+	AllocsOp int64              `json:"allocs_per_op"`
+	Metrics  map[string]float64 `json:"metrics"`
 }
 
 type report struct {
 	Suite      string   `json:"suite"`
 	Benchmarks []result `json:"benchmarks"`
+}
+
+// bound is one parsed -max-metric/-min-metric spec:
+// Bench/metric=value with ceiling or floor semantics.
+type bound struct {
+	bench, metric string
+	value         float64
+	ceiling       bool
+}
+
+func parseBounds(spec string, ceiling bool) ([]bound, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []bound
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		path, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("bound %q: want Bench/metric=value", item)
+		}
+		bench, metric, ok := strings.Cut(path, "/")
+		if !ok || bench == "" || metric == "" {
+			return nil, fmt.Errorf("bound %q: want Bench/metric=value", item)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bound %q: %v", item, err)
+		}
+		out = append(out, bound{bench: bench, metric: metric, value: v, ceiling: ceiling})
+	}
+	return out, nil
 }
 
 func load(path string) (report, error) {
@@ -50,11 +98,23 @@ func main() {
 	baselines := flag.String("baselines", "", "comma-separated committed baseline reports")
 	maxRegress := flag.Float64("max-regress-pct", 20, "max allowed ns/op regression, percent")
 	zeroAlloc := flag.String("zero-alloc", "", "comma-separated benchmarks that must report 0 allocs/op")
+	ignoreAllocs := flag.Bool("ignore-allocs", false, "skip the allocs/op increase check")
+	maxMetric := flag.String("max-metric", "", "comma-separated Bench/metric=ceiling bounds on fresh metrics")
+	minMetric := flag.String("min-metric", "", "comma-separated Bench/metric=floor bounds on fresh metrics")
 	flag.Parse()
 	if *newPath == "" || *baselines == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -new and -baselines are required")
 		os.Exit(2)
 	}
+	bounds, err := parseBounds(*maxMetric, true)
+	if err != nil {
+		fatal(err)
+	}
+	floors, err := parseBounds(*minMetric, false)
+	if err != nil {
+		fatal(err)
+	}
+	bounds = append(bounds, floors...)
 
 	fresh, err := load(*newPath)
 	if err != nil {
@@ -67,7 +127,15 @@ func main() {
 
 	base := make(map[string]result)
 	for _, path := range strings.Split(*baselines, ",") {
-		rep, err := load(strings.TrimSpace(path))
+		path = strings.TrimSpace(path)
+		rep, err := load(path)
+		if os.IsNotExist(err) {
+			// First run of a new suite: nothing to compare against yet.
+			// `make bench` records the baseline; absolute -max-metric /
+			// -min-metric bounds still apply below.
+			fmt.Printf("benchgate: baseline %s missing, skipping (record it with make bench)\n", path)
+			continue
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -90,7 +158,7 @@ func main() {
 			verdict = "  REGRESSION"
 			violations++
 		}
-		if nb.AllocsOp > bb.AllocsOp {
+		if !*ignoreAllocs && nb.AllocsOp > bb.AllocsOp {
 			verdict += "  ALLOC-INCREASE"
 			violations++
 		}
@@ -110,6 +178,30 @@ func main() {
 				violations++
 			}
 		}
+	}
+	for _, bd := range bounds {
+		kind, cmp := "ceiling", "≤"
+		if !bd.ceiling {
+			kind, cmp = "floor", "≥"
+		}
+		nb, ok := got[bd.bench]
+		if !ok {
+			fmt.Printf("%s/%s missing benchmark  METRIC-%s-UNVERIFIED\n", bd.bench, bd.metric, strings.ToUpper(kind))
+			violations++
+			continue
+		}
+		v, ok := nb.Metrics[bd.metric]
+		if !ok {
+			fmt.Printf("%s/%s missing metric  METRIC-%s-UNVERIFIED\n", bd.bench, bd.metric, strings.ToUpper(kind))
+			violations++
+			continue
+		}
+		verdict := "ok"
+		if (bd.ceiling && v > bd.value) || (!bd.ceiling && v < bd.value) {
+			verdict = "METRIC-" + strings.ToUpper(kind) + "-VIOLATION"
+			violations++
+		}
+		fmt.Printf("%s/%s = %.3f (%s %s %.3f)  %s\n", bd.bench, bd.metric, v, kind, cmp, bd.value, verdict)
 	}
 	if violations > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s)\n", violations)

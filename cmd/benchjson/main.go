@@ -1,16 +1,19 @@
 // Command benchjson converts `go test -bench` text output into a small
 // machine-readable JSON document, so benchmark results can be committed
-// (BENCH_resolve.json) and diffed across PRs or uploaded as CI
-// artifacts without scraping log text.
+// (BENCH_resolve.json, BENCH_stretch.json) and diffed across PRs or
+// uploaded as CI artifacts without scraping log text.
 //
 // Usage:
 //
 //	go test -run '^$' -bench Resolve -benchmem ./internal/live | go run ./cmd/benchjson -out BENCH_resolve.json
 //	go run ./cmd/benchjson -in bench.txt -out BENCH_resolve.json
 //
-// When both BenchmarkDiscover and BenchmarkResolveHot appear in the
-// input, the output includes derived.hot_speedup_vs_discover — the
-// headline number for the location cache.
+// Custom b.ReportMetric columns (rpcs/op, median-stretch/op, ...) are
+// captured generically into each benchmark's "metrics" map; the memory
+// columns keep their dedicated fields. When both BenchmarkDiscover and
+// BenchmarkResolveHot appear in the input, the output includes
+// derived.hot_speedup_vs_discover — the headline number for the
+// location cache.
 package main
 
 import (
@@ -25,24 +28,29 @@ import (
 	"strconv"
 )
 
-// benchLine matches one result row, e.g.
+// benchLine matches the fixed prefix of one result row, e.g.
 //
 //	BenchmarkResolveHot-8   100   73.38 ns/op   0 B/op   0 allocs/op
-//	BenchmarkPublishBatch10k-8   50   1.2e6 ns/op   3.000 rpcs/op   0 B/op   0 allocs/op
+//	BenchmarkStretchProximity10k   1   8.1e8 ns/op   1.000 median-stretch/op
 //
-// The -8 GOMAXPROCS suffix is stripped from the name; the custom
-// rpcs/op metric (b.ReportMetric, printed between ns/op and the memory
-// columns) and the memory columns themselves are optional.
+// The -8 GOMAXPROCS suffix is stripped from the name; everything after
+// ns/op is scanned by metricCol.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) rpcs/op)?(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.eE+]+) ns/op(.*)$`)
+
+// metricCol matches one "<value> <unit>/op" column after ns/op —
+// b.ReportMetric output and the -benchmem B/op and allocs/op columns
+// alike.
+var metricCol = regexp.MustCompile(`([\d.eE+-]+) ([\w-]+)/op`)
 
 type result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	RPCsPerOp  float64 `json:"rpcs_per_op,omitempty"`
-	BPerOp     float64 `json:"b_per_op"`
-	AllocsOp   int64   `json:"allocs_per_op"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	RPCsPerOp  float64            `json:"rpcs_per_op,omitempty"`
+	BPerOp     float64            `json:"b_per_op"`
+	AllocsOp   int64              `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 type report struct {
@@ -85,12 +93,27 @@ func main() {
 		r := result{Name: m[1]}
 		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.RPCsPerOp, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			r.BPerOp, _ = strconv.ParseFloat(m[5], 64)
-			r.AllocsOp, _ = strconv.ParseInt(m[6], 10, 64)
+		for _, col := range metricCol.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(col[1], 64)
+			if err != nil {
+				continue
+			}
+			switch col[2] {
+			case "B":
+				r.BPerOp = v
+			case "allocs":
+				r.AllocsOp = int64(v)
+			case "rpcs":
+				// Keep the dedicated field earlier reports used, and the
+				// generic entry, so consumers of either shape keep working.
+				r.RPCsPerOp = v
+				fallthrough
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[col[2]] = v
+			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}

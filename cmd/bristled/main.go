@@ -48,6 +48,8 @@ func main() {
 	join := flag.String("join", "", "bootstrap node address to join via")
 	mobile := flag.Bool("mobile", false, "run as a mobile node")
 	capacity := flag.Float64("capacity", 4, "advertised capacity (LDT scheduling)")
+	region := flag.String("region", "", "stationary: this node's region label (region-clustered key placement)")
+	regions := flag.String("regions", "", "comma-separated full region set; must be identical on every node")
 	lease := flag.Duration("lease", 30*time.Second, "location lease TTL (0 = forever)")
 	rebind := flag.Duration("rebind", 0, "mobile: re-bind to a new port at this interval")
 	watch := flag.String("watch", "", "register interest in this node name and print its updates")
@@ -89,6 +91,9 @@ func main() {
 	if *mobile {
 		opts = append(opts, live.WithMobile())
 	}
+	if *region != "" {
+		opts = append(opts, live.WithRegion(*region, splitCSV(*regions)...))
+	}
 	if *noPool {
 		opts = append(opts, live.WithoutPool())
 	}
@@ -103,7 +108,11 @@ func main() {
 		fatal(err)
 	}
 	defer node.Close()
-	fmt.Printf("node %s key=%v listening on %s\n", *name, node.Key(), node.Addr())
+	if *region != "" {
+		fmt.Printf("node %s key=%v region=%s listening on %s\n", *name, node.Key(), *region, node.Addr())
+	} else {
+		fmt.Printf("node %s key=%v listening on %s\n", *name, node.Key(), node.Addr())
+	}
 
 	// ctx ends on the first interrupt; every foreground operation also
 	// gets its own -op-timeout deadline on top.
@@ -161,11 +170,14 @@ func main() {
 			st := node.Stats()
 			delta := formatDelta(st.CountersDelta(prevStats))
 			prevStats = st
+			line := fmt.Sprintf("stats: Δ %s | %s", delta, gauges)
 			if len(st.Suspects) > 0 {
-				fmt.Printf("stats: Δ %s | %s suspects=%v\n", delta, gauges, st.Suspects)
-			} else {
-				fmt.Printf("stats: Δ %s | %s\n", delta, gauges)
+				line += fmt.Sprintf(" suspects=%v", st.Suspects)
 			}
+			if rtts := formatRTTs(st.PeerRTTs, 3); rtts != "" {
+				line += " rtt " + rtts
+			}
+			fmt.Println(line)
 		case <-rebindTick:
 			if err := withDeadline(ctx, *opTimeout, func(ctx context.Context) error {
 				return node.RebindContext(ctx, "127.0.0.1:0")
@@ -178,6 +190,38 @@ func main() {
 			fmt.Printf("update: %v is now at %s\n", up.Key, up.Addr)
 		}
 	}
+}
+
+// formatRTTs renders the nearest max measured peers as
+// "addr=rtt(n=samples[,suspect])" pairs; PeerRTTs arrives sorted by
+// ascending estimate, so a truncated view is the closest peers.
+func formatRTTs(rtts []live.PeerRTT, max int) string {
+	if len(rtts) > max {
+		rtts = rtts[:max]
+	}
+	var b strings.Builder
+	for i, p := range rtts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s(n=%d", p.Addr, p.RTT.Round(100*time.Microsecond), p.Samples)
+		if p.Suspect {
+			b.WriteString(",suspect")
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// splitCSV splits a comma-separated flag value, trimming blanks.
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // formatDelta renders an interval diff as sorted "name=+value" pairs.

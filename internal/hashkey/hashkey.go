@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Key is a point on the 2^64 identifier ring.
@@ -214,6 +215,73 @@ func (a Arc) RandomOutside(rng *rand.Rand) Key {
 	}
 	off := randUint64n(rng, outside)
 	return a.Hi + 1 + Key(off)
+}
+
+// FullRing returns the arc covering every key (Width = 2^64 − 1; the
+// single missing point is immaterial for placement purposes).
+func FullRing() Arc {
+	return Arc{Lo: 0, Hi: Key(^uint64(0))}
+}
+
+// regionStripes is how many times each region's key segments repeat
+// around an arc under RegionStriped. More stripes make segments
+// narrower, so with node counts up to a few thousand each segment holds
+// at most a handful of nodes and the k keys nearest any point fall into
+// k adjacent segments — k distinct regions.
+const regionStripes = 256
+
+// RegionStriped derives a key for name inside arc a such that walking
+// the arc clockwise rotates through regions: the arc is cut into
+// len(regions) × regionStripes equal segments and segment i belongs to
+// region i mod len(regions). name hashes to one of its region's
+// segments (and to an offset within it), so placement stays uniform per
+// region while any k adjacent stationary keys span min(k, len(regions))
+// regions — a record's replica set covers the deployment's regions and
+// latency-aware ordering can pick the near one.
+//
+// regions is the deployment's full region list and must be the same set
+// on every node (order is irrelevant: it is sorted internally). If
+// region is not in regions, or the arc is too narrow to stripe, the
+// plain FromName key is returned.
+func RegionStriped(a Arc, name, region string, regions []string) Key {
+	if len(regions) == 0 {
+		return FromName(name)
+	}
+	sorted := make([]string, len(regions))
+	copy(sorted, regions)
+	sort.Strings(sorted)
+	idx := sort.SearchStrings(sorted, region)
+	if idx >= len(sorted) || sorted[idx] != region {
+		return FromName(name)
+	}
+	r := uint64(len(sorted))
+	segLen := a.Width() / (r * regionStripes)
+	if segLen == 0 {
+		return FromName(name)
+	}
+	h := uint64(FromName(name))
+	stripe := (h >> 32) % regionStripes // which repetition of the region's segment
+	off := h % segLen                   // position inside the segment
+	return a.Lo + Key((stripe*r+uint64(idx))*segLen+off)
+}
+
+// RegionIndex recovers which region's segment a key placed by
+// RegionStriped(a, ·, ·, regions) landed in, as an index into the sorted
+// region list — the inverse of the placement, computable by any node from
+// the key alone (no wire metadata). nRegions must be len(regions); a and
+// nRegions must match the placement's. Returns -1 when striping is not in
+// effect (nRegions < 2 or the arc is too narrow), or for keys outside the
+// arc.
+func RegionIndex(a Arc, k Key, nRegions int) int {
+	if nRegions < 2 {
+		return -1
+	}
+	segLen := a.Width() / (uint64(nRegions) * regionStripes)
+	if segLen == 0 || !a.Contains(k) {
+		return -1
+	}
+	seg := Clockwise(a.Lo, k) / segLen
+	return int(seg % uint64(nRegions))
 }
 
 // randUint64n returns a uniform value in [0, n). n must be > 0.

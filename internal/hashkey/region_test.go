@@ -1,0 +1,95 @@
+package hashkey
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestRegionStripedDeterministicAndInArc(t *testing.T) {
+	regions := []string{"east", "west", "south"}
+	arc := StationaryArc(0.5)
+	a := RegionStriped(arc, "node-7", "west", regions)
+	b := RegionStriped(arc, "node-7", "west", regions)
+	if a != b {
+		t.Fatalf("not deterministic: %v != %v", a, b)
+	}
+	if !arc.Contains(a) {
+		t.Fatalf("key %v outside arc [%v, %v]", a, arc.Lo, arc.Hi)
+	}
+	if c := RegionStriped(arc, "node-8", "west", regions); c == a {
+		t.Fatalf("distinct names collided: %v", a)
+	}
+}
+
+func TestRegionStripedOrderInsensitive(t *testing.T) {
+	arc := FullRing()
+	a := RegionStriped(arc, "n", "b", []string{"a", "b", "c"})
+	b := RegionStriped(arc, "n", "b", []string{"c", "a", "b"})
+	if a != b {
+		t.Fatalf("region list order changed the key: %v != %v", a, b)
+	}
+}
+
+func TestRegionStripedFallsBackToPlainHash(t *testing.T) {
+	arc := FullRing()
+	plain := FromName("n")
+	if got := RegionStriped(arc, "n", "anywhere", nil); got != plain {
+		t.Fatalf("empty region set: got %v, want plain %v", got, plain)
+	}
+	if got := RegionStriped(arc, "n", "mars", []string{"east", "west"}); got != plain {
+		t.Fatalf("unknown region: got %v, want plain %v", got, plain)
+	}
+	// An arc too narrow to cut into len(regions)×stripes segments.
+	narrow := Arc{Lo: 0, Hi: 10}
+	if got := RegionStriped(narrow, "n", "east", []string{"east", "west"}); got != plain {
+		t.Fatalf("narrow arc: got %v, want plain %v", got, plain)
+	}
+}
+
+// TestRegionIndexRoundTrip is the property replica selection depends on:
+// any node can recover a striped key's region from the key alone.
+func TestRegionIndexRoundTrip(t *testing.T) {
+	regions := []string{"west", "east", "south", "north"}
+	sorted := append([]string(nil), regions...)
+	sort.Strings(sorted)
+	for _, arc := range []Arc{FullRing(), StationaryArc(0.7)} {
+		for i := 0; i < 200; i++ {
+			region := regions[i%len(regions)]
+			k := RegionStriped(arc, fmt.Sprintf("node-%d", i), region, regions)
+			got := RegionIndex(arc, k, len(regions))
+			if got < 0 || sorted[got] != region {
+				t.Fatalf("arc %v node-%d: RegionIndex = %d, want index of %s in %v", arc, i, got, region, sorted)
+			}
+		}
+	}
+}
+
+// TestRegionIndexRotatesSegments pins the interleaving: walking the arc
+// segment by segment cycles through region indices 0,1,...,R-1, so the
+// closest few segments around any point always cover several regions.
+func TestRegionIndexRotatesSegments(t *testing.T) {
+	const r = 3
+	arc := FullRing()
+	segLen := arc.Width() / (r * regionStripes)
+	for seg := uint64(0); seg < 2*r; seg++ {
+		k := arc.Lo + Key(seg*segLen+segLen/2)
+		if got := RegionIndex(arc, k, r); got != int(seg%r) {
+			t.Fatalf("segment %d: RegionIndex = %d, want %d", seg, got, seg%r)
+		}
+	}
+}
+
+func TestRegionIndexUnknown(t *testing.T) {
+	if got := RegionIndex(FullRing(), 42, 1); got != -1 {
+		t.Fatalf("single region: RegionIndex = %d, want -1", got)
+	}
+	narrow := Arc{Lo: 0, Hi: 10}
+	if got := RegionIndex(narrow, 5, 3); got != -1 {
+		t.Fatalf("unstripable arc: RegionIndex = %d, want -1", got)
+	}
+	outside := StationaryArc(0.5)
+	if got := RegionIndex(outside, outside.Hi+10, 3); got != -1 {
+		t.Fatalf("key outside arc: RegionIndex = %d, want -1", got)
+	}
+}

@@ -145,6 +145,13 @@ type Stats struct {
 	// Suspects lists the peer addresses whose circuit breakers are open
 	// or half-open — the peers this node currently routes around. Sorted.
 	Suspects []string
+	// Region is the node's configured locality label ("" when unset).
+	Region string
+	// PeerRTTs is the per-peer round-trip table behind latency-ordered
+	// replica selection: each known peer's smoothed RTT (an EWMA over this
+	// node's own exchanges with it — no probe traffic), its sample count,
+	// and whether its breaker currently marks it suspect. Ascending by RTT.
+	PeerRTTs []PeerRTT
 	// Counters is a snapshot of the node's counter registry (empty when
 	// no Counters were configured).
 	Counters map[string]uint64
@@ -162,6 +169,8 @@ func (n *Node) Stats() Stats {
 		Registrations: n.registry.size(),
 		StoreRecords:  n.store.size(),
 		Suspects:      n.peersTbl.suspectAddrs(),
+		Region:        n.cfg.Region,
+		PeerRTTs:      n.peerRTTs(),
 		Counters:      n.cfg.Counters.Snapshot(),
 	}
 	n.ownedMu.Lock()

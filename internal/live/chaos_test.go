@@ -9,6 +9,7 @@ package live
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,13 +156,27 @@ func TestBreakerTripsFastFailsAndRecovers(t *testing.T) {
 	}
 }
 
-// TestDiscoverSuspicionAwareReplicaOrder kills the nearest replica of a
-// record: discovery falls over to the surviving replica, the dead one's
-// breaker trips, and from then on the suspect replica is deprioritized so
-// discovery doesn't pay its timeout again.
+// TestDiscoverSuspicionAwareReplicaOrder drives latency- and
+// suspicion-aware replica selection end to end: with per-link latencies
+// injected and RTT estimates warmed, discovery leads with the measured
+// nearest replica; when that replica dies, discovery falls over to the
+// next-nearest, the dead one's breaker trips, and from then on the
+// suspect replica sorts last regardless of its (stale, attractive) RTT —
+// so discovery doesn't pay its timeout again.
 func TestDiscoverSuspicionAwareReplicaOrder(t *testing.T) {
 	counters := metrics.NewCounters()
-	faulty := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{Seed: 3})
+	// Per-directed-link latencies keyed by endpoint names, installed after
+	// the ring bootstraps (the hook reads the map on every frame).
+	var latMu sync.Mutex
+	lat := map[[2]string]time.Duration{}
+	faulty := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{
+		Seed: 3,
+		Latency: func(from, to string) time.Duration {
+			latMu.Lock()
+			defer latMu.Unlock()
+			return lat[[2]string{from, to}]
+		},
+	})
 	names := []string{"s1", "s2", "s3", "s4", "mob"}
 	nodes, cleanup := startChaosRing(t, faulty, names, map[string]bool{"mob": true}, counters)
 	defer cleanup()
@@ -178,11 +193,15 @@ func TestDiscoverSuspicionAwareReplicaOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	primary, backup := owners[0], owners[1]
+	// Designate the replica set's near/far roles by injecting latency:
+	// whatever order ownersOf returned, owners[0] becomes the low-RTT
+	// replica from the prober's vantage point and owners[1] the high-RTT
+	// one.
+	near, far := owners[0], owners[1]
 	var prober *Node
 	for _, name := range []string{"s1", "s2", "s3", "s4"} {
 		nd := nodes[name]
-		if nd.Key() != primary.Key && nd.Key() != backup.Key {
+		if nd.Key() != near.Key && nd.Key() != far.Key {
 			prober = nd
 			break
 		}
@@ -190,28 +209,61 @@ func TestDiscoverSuspicionAwareReplicaOrder(t *testing.T) {
 	if prober == nil {
 		t.Fatal("no stationary prober outside the replica set")
 	}
+	latMu.Lock()
+	lat[[2]string{prober.cfg.Name, byKey[near.Key].cfg.Name}] = 2 * time.Millisecond
+	lat[[2]string{prober.cfg.Name, byKey[far.Key].cfg.Name}] = 25 * time.Millisecond
+	latMu.Unlock()
+	// Warm the prober's estimators over ordinary exchanges (pings — no
+	// probe machinery). Several rounds, because bootstrap-era exchanges
+	// already seeded the EWMAs at in-memory-transport speed and the
+	// injected latency has to pull them up.
+	for round := 0; round < 8; round++ {
+		for _, owner := range owners {
+			if err := prober.Ping(owner.Addr); err != nil {
+				t.Fatalf("warm ping: %v", err)
+			}
+		}
+	}
+	nearEst, _, okNear := prober.rtt.estimate(near.Addr)
+	farEst, _, okFar := prober.rtt.estimate(far.Addr)
+	if !okNear || !okFar || nearEst < time.Millisecond || farEst <= nearEst {
+		t.Fatalf("warmed estimates near=%v far=%v, want 1ms <= near < far", nearEst, farEst)
+	}
 
-	byKey[primary.Key].Close() // the nearest replica dies
+	// With both replicas measured, ordering is deterministic: the
+	// low-latency replica leads.
+	ordered, err := prober.ownersOf(mob.Key(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered[0].Key != near.Key {
+		t.Fatalf("latency-aware order does not lead with the nearest replica: %v", ordered[0].Key)
+	}
 
-	// Each discovery falls over to the backup replica; after
-	// SuspicionThreshold failures the primary's breaker trips.
+	byKey[near.Key].Close() // the nearest replica dies
+
+	// Each discovery tries the (still lowest-RTT, not yet suspect) dead
+	// replica first and falls over to the next-nearest; after
+	// SuspicionThreshold failed exchanges the near breaker trips.
 	for i := 0; i < 3; i++ {
 		addr, err := prober.Discover(mob.Key())
 		if err != nil {
-			t.Fatalf("discover %d with dead primary: %v", i, err)
+			t.Fatalf("discover %d with dead nearest replica: %v", i, err)
 		}
 		if addr != mob.Addr() {
 			t.Fatalf("discover %d resolved %s", i, addr)
 		}
 	}
-	if !prober.suspect(primary.Addr) {
-		t.Fatal("dead primary never became suspect")
+	if !prober.suspect(near.Addr) {
+		t.Fatal("dead nearest replica never became suspect")
 	}
+	// Suspicion outranks RTT: the dead replica's estimate is still the
+	// most attractive, but the suspect sorts last.
 	reordered, err := prober.ownersOf(mob.Key(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reordered[0].Key != backup.Key {
+	if reordered[0].Key != far.Key {
 		t.Fatalf("suspicion-aware order still leads with the dead replica: %v", reordered[0].Key)
 	}
 
@@ -223,5 +275,17 @@ func TestDiscoverSuspicionAwareReplicaOrder(t *testing.T) {
 	}
 	if got := counters.Get("rpc.attempts") - before; got != 1 {
 		t.Fatalf("suspicion-aware discovery used %d attempts, want 1", got)
+	}
+	// The Stats RTT table surfaces both estimates, suspect flag included.
+	stats := prober.Stats()
+	found := map[string]PeerRTT{}
+	for _, pr := range stats.PeerRTTs {
+		found[pr.Addr] = pr
+	}
+	if pr, ok := found[near.Addr]; !ok || !pr.Suspect || pr.Samples == 0 {
+		t.Fatalf("near peer missing or wrong in Stats.PeerRTTs: %+v", pr)
+	}
+	if pr, ok := found[far.Addr]; !ok || pr.Suspect || pr.RTT < 20*time.Millisecond {
+		t.Fatalf("far peer missing or wrong in Stats.PeerRTTs: %+v", pr)
 	}
 }

@@ -294,46 +294,150 @@ func (n *Node) stationarySnapshot() []wire.Entry {
 	return out
 }
 
-// ownersForKey picks the k candidates closest to key, healthy replicas
-// first (suspect is a pre-sampled breaker snapshot, so a batched publish
-// ranks thousands of keys without re-locking the breaker table per key).
-// cands is re-sorted in place: the returned slice aliases it and must be
-// consumed before the next call.
-func ownersForKey(cands []wire.Entry, suspect map[string]bool, key hashkey.Key, k int) []wire.Entry {
-	sort.Slice(cands, func(i, j int) bool {
-		return hashkey.Closer(key, cands[i].Key, cands[j].Key)
-	})
-	if k > len(cands) {
-		k = len(cands)
-	}
-	owners := cands[:k]
-	sort.SliceStable(owners, func(i, j int) bool {
-		return !suspect[owners[i].Addr] && suspect[owners[j].Addr]
-	})
+// ownersForKey picks the key's replica set via SelectReplicas and orders
+// it for contact: healthy before suspect, then by effective RTT (h is
+// one pre-sampled peerHealth snapshot, so a batched publish ranks
+// thousands of keys without re-locking the breaker table or re-drawing
+// exploration jitter per key). cands is re-sorted in place: the
+// returned slice aliases it and must be consumed before the next call.
+func ownersForKey(cands []wire.Entry, h *peerHealth, key hashkey.Key, k, regions int) []wire.Entry {
+	owners := SelectReplicas(cands, key, k, regions)
+	OrderReplicas(owners, h.suspect, h.eff)
 	return owners
 }
 
-// suspectSnapshot samples every candidate's breaker once, so replica
-// ordering cannot flap mid-batch.
-func (n *Node) suspectSnapshot(cands []wire.Entry) map[string]bool {
-	suspect := make(map[string]bool, len(cands))
+// SelectReplicas picks key's k-replica set from cands: the k closest by
+// ring distance, diversified across regions when the deployment is
+// region-striped (regions = len(Config.Regions), 0 or 1 disables it).
+//
+// Under region-striped placement (hashkey.RegionStriped) a stationary
+// peer's region is recoverable from its key alone (hashkey.RegionIndex),
+// so diversification needs no wire metadata and every node — publisher
+// or resolver — computes the identical set from the same membership:
+// walking outward from key, the closest candidate of each distinct
+// region is taken first; remaining slots fill with the closest passed-
+// over candidates. Plain k-closest placement can put a record's whole
+// replica set in one region (labels are i.i.d. across the sorted ring —
+// only k!/k^k of sets span k regions); diversified selection makes every
+// set span min(k, regions) regions, which is what gives every resolver a
+// near replica for latency-ordered contact to find.
+//
+// cands is re-sorted in place; the result aliases it. Exported so the
+// stretch evaluation (internal/stretch) places records exactly as the
+// live node does.
+func SelectReplicas(cands []wire.Entry, key hashkey.Key, k, regions int) []wire.Entry {
+	sort.Slice(cands, func(i, j int) bool {
+		return hashkey.Closer(key, cands[i].Key, cands[j].Key)
+	})
+	if k >= len(cands) {
+		return cands
+	}
+	if regions < 2 {
+		return cands[:k]
+	}
+	// One in-place stable pass: bubble the closest candidate of each
+	// not-yet-seen region forward into the take region [0, taken), keeping
+	// everything else in distance order, then cut at k.
+	seen := make(map[int]bool, regions)
+	taken := 0
+	for i := 0; i < len(cands) && taken < k && len(seen) < regions; i++ {
+		ri := hashkey.RegionIndex(hashkey.FullRing(), cands[i].Key, regions)
+		if ri < 0 || seen[ri] {
+			continue
+		}
+		seen[ri] = true
+		e := cands[i]
+		copy(cands[taken+1:i+1], cands[taken:i])
+		cands[taken] = e
+		taken++
+	}
+	return cands[:k]
+}
+
+// OrderReplicas stable-sorts a replica set into contact order: peers in
+// suspect sort after healthy ones regardless of RTT (a near but broken
+// replica still costs a timeout before the breaker trips), and within
+// each class peers sort by ascending effective RTT from eff. Addresses
+// missing from eff compare equal at zero, so with no estimates at all
+// the incoming (key-distance) order is preserved — exactly the
+// pre-proximity behavior. Exported so the simulation harness
+// (internal/stretch) measures the same ordering the live node runs.
+func OrderReplicas(replicas []wire.Entry, suspect map[string]bool, eff map[string]time.Duration) {
+	sort.SliceStable(replicas, func(i, j int) bool {
+		si, sj := suspect[replicas[i].Addr], suspect[replicas[j].Addr]
+		if si != sj {
+			return !si
+		}
+		return eff[replicas[i].Addr] < eff[replicas[j].Addr]
+	})
+}
+
+// peerHealth is one fan-out's frozen view of replica quality: the
+// suspect set (one scan of the breaker table, not one lock round per
+// candidate per key) and every candidate's effective RTT — the measured
+// EWMA where one exists, otherwise a jittered exploration bonus drawn
+// once per fan-out. Freezing both keeps replica ordering stable across
+// the thousands of keys of a batched publish and makes its cost
+// O(candidates) instead of O(candidates × keys).
+type peerHealth struct {
+	suspect map[string]bool
+	eff     map[string]time.Duration
+}
+
+// peerHealth samples suspicion and RTT once for a fan-out over cands.
+//
+// Unknown-RTT candidates draw an effective RTT uniformly in [0, mean of
+// the measured candidates] (floor rttExploreFloor when nothing is
+// measured yet): small enough that a new peer is tried ahead of far
+// replicas — which is how its estimate gets seeded — but random enough
+// that it doesn't permanently preempt the measured nearest one.
+func (n *Node) peerHealth(cands []wire.Entry) *peerHealth {
+	h := &peerHealth{
+		suspect: n.peersTbl.suspectSet(),
+		eff:     make(map[string]time.Duration, len(cands)),
+	}
+	var sum time.Duration
+	known := 0
 	for _, e := range cands {
-		if _, ok := suspect[e.Addr]; !ok {
-			suspect[e.Addr] = n.suspect(e.Addr)
+		if _, ok := h.eff[e.Addr]; ok {
+			continue
+		}
+		if est, _, ok := n.rtt.estimate(e.Addr); ok {
+			h.eff[e.Addr] = est
+			sum += est
+			known++
 		}
 	}
-	return suspect
+	mean := rttExploreFloor
+	if known > 0 {
+		if mean = sum / time.Duration(known); mean <= 0 {
+			mean = 1
+		}
+	}
+	for _, e := range cands {
+		if _, ok := h.eff[e.Addr]; !ok {
+			h.eff[e.Addr] = n.jitterDuration(mean)
+		}
+	}
+	return h
+}
+
+// jitterDuration draws uniformly from [0, max] on the node's seeded rng.
+func (n *Node) jitterDuration(max time.Duration) time.Duration {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(max) + 1))
 }
 
 // ownersOf returns the k known *stationary* peers closest to key,
-// replicated for §2.3.2 availability. Within the replica set, peers
-// whose circuit breaker is open sort last, so publish and discovery fall
-// over across replicas in suspicion-aware order and pay the suspect
-// peers' timeouts only when every healthy replica failed.
+// replicated for §2.3.2 availability, ordered for contact: suspects
+// last, then ascending measured RTT — so publish and discovery fall
+// over across replicas nearest-healthy-first and pay a suspect peer's
+// timeout only when every healthy replica failed.
 func (n *Node) ownersOf(key hashkey.Key, k int) ([]wire.Entry, error) {
 	cands := n.stationarySnapshot()
 	if len(cands) == 0 {
 		return nil, errors.New("live: no known stationary peers")
 	}
-	return ownersForKey(cands, n.suspectSnapshot(cands), key, k), nil
+	return ownersForKey(cands, n.peerHealth(cands), key, k, len(n.cfg.Regions)), nil
 }

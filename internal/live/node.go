@@ -15,13 +15,13 @@
 // any request path (DESIGN.md §13 maps every lock):
 //
 //   - node.go       — Config, lifecycle (Start/Close/Rebind), connection
-//                     serving and dispatch
+//     serving and dispatch
 //   - api.go        — the consolidated public surface: canonical
-//                     *Context methods, their suffix-less aliases, Stats
+//     *Context methods, their suffix-less aliases, Stats
 //   - store.go      — the sharded record repository and the ingest/serve
-//                     handlers (publish, discover, update)
+//     handlers (publish, discover, update)
 //   - membership.go — copy-on-write membership and registry views;
-//                     join/gossip/register; replica selection
+//     join/gossip/register; replica selection
 //   - publish.go    — the owned-key set and the batched publish fan-out
 //   - resolve.go    — the cache-first resolve hot path
 //   - advertise.go  — the coalescing LDT push queue and fan-out
@@ -68,6 +68,19 @@ type Config struct {
 	Capacity float64
 	// Mobile marks the node as relocatable (Rebind allowed).
 	Mobile bool
+	// Region labels where this node physically sits (a datacenter, a
+	// transit domain — any coarse locality bucket). When a stationary node
+	// has both Region and Regions set, its hash key is drawn from the
+	// region's stripes of the ring (hashkey.RegionStriped) so that the k
+	// closest stationary keys to any resource key span k distinct regions:
+	// every resolver then has a replica in or near its own region for
+	// latency-ordered selection to find. Mobile nodes ignore it for key
+	// derivation (they don't host records) but still report it in Stats.
+	Region string
+	// Regions is the full deployment-wide region list (order-insensitive;
+	// every node must use the same set). Empty disables region-striped
+	// placement and keys fall back to plain FromName hashing.
+	Regions []string
 	// LeaseTTL bounds how long published locations and caches stay valid.
 	// Zero disables expiry.
 	LeaseTTL time.Duration
@@ -266,6 +279,7 @@ type Node struct {
 	closed  atomic.Bool    // set by Close; gates background refreshes
 
 	peersTbl peerTable // sharded per-peer suspicion circuit breakers
+	rtt      rttTable  // sharded per-peer RTT estimators (rtt.go)
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // seeds retry jitter; per-node deterministic
@@ -287,6 +301,12 @@ type Node struct {
 func NewNode(cfg Config, tr transport.Transport) *Node {
 	cfg = cfg.withDefaults()
 	key := hashkey.FromName(cfg.Name)
+	if !cfg.Mobile && cfg.Region != "" && len(cfg.Regions) > 0 {
+		// Region-clustered stationary placement: the key lands in one of
+		// this region's ring stripes, so consecutive stationary keys — and
+		// therefore any record's k-closest replica set — interleave regions.
+		key = hashkey.RegionStriped(hashkey.FullRing(), cfg.Name, cfg.Region, cfg.Regions)
+	}
 	n := &Node{
 		cfg:     cfg,
 		key:     key,
@@ -304,6 +324,7 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 	n.store.init()
 	n.seen.init()
 	n.peersTbl.init()
+	n.rtt.init()
 	n.runCtx, n.runCancel = context.WithCancel(context.Background())
 	if !cfg.Pool.Disabled {
 		n.pool = newPool(tr, cfg.Pool, cfg.Counters, cfg.Gauges)

@@ -25,6 +25,18 @@ func WithCapacity(c float64) Option { return func(cfg *Config) { cfg.Capacity = 
 // WithMobile marks the node as relocatable (Rebind allowed).
 func WithMobile() Option { return func(cfg *Config) { cfg.Mobile = true } }
 
+// WithRegion labels the node's locality bucket and declares the full
+// deployment-wide region set (order-insensitive, but identical on every
+// node). A stationary node with a region draws its hash key from that
+// region's ring stripes (hashkey.RegionStriped) so replica sets span
+// regions; mobile nodes keep their plain key but still report the label.
+func WithRegion(region string, regions ...string) Option {
+	return func(cfg *Config) {
+		cfg.Region = region
+		cfg.Regions = regions
+	}
+}
+
 // WithLease bounds how long published locations and caches stay valid.
 func WithLease(ttl time.Duration) Option { return func(cfg *Config) { cfg.LeaseTTL = ttl } }
 
@@ -127,6 +139,18 @@ func (cfg Config) validate() error {
 	}
 	if cfg.LeaseTTL < 0 {
 		return fmt.Errorf("live: lease TTL must be >= 0, got %v", cfg.LeaseTTL)
+	}
+	if cfg.Region != "" && len(cfg.Regions) > 0 {
+		found := false
+		for _, r := range cfg.Regions {
+			if r == cfg.Region {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("live: region %q is not in the declared region set %v", cfg.Region, cfg.Regions)
+		}
 	}
 	if cfg.Pool.MaxSessions < 0 || cfg.Pool.MaxInflight < 0 {
 		return errors.New("live: pool limits must be >= 0")

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -60,7 +61,7 @@ func TestNewDefaultsMatchNewNode(t *testing.T) {
 	defer n.Close()
 	legacy := NewNode(Config{Name: "defaults"}, mem)
 	defer legacy.Close()
-	if n.cfg != legacy.cfg {
+	if !reflect.DeepEqual(n.cfg, legacy.cfg) {
 		t.Errorf("New defaults diverge from NewNode:\n  New:     %+v\n  NewNode: %+v", n.cfg, legacy.cfg)
 	}
 }
@@ -83,10 +84,10 @@ func TestNewWithoutPool(t *testing.T) {
 func TestNewValidation(t *testing.T) {
 	mem := transport.NewMem()
 	cases := []struct {
-		name  string
-		node  string
-		tr    transport.Transport
-		opts  []Option
+		name string
+		node string
+		tr   transport.Transport
+		opts []Option
 	}{
 		{"empty name", "", mem, nil},
 		{"nil transport", "x", nil, nil},

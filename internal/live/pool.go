@@ -110,15 +110,10 @@ func newPool(tr transport.Transport, cfg PoolConfig, counters *metrics.Counters,
 func (p *pool) count(name string)             { p.counters.Inc(name) }
 func (p *pool) gaugeAdd(name string, d int64) { p.gauges.Add(name, d) }
 
-// shard selects addr's slice of the session table (FNV-1a, like the
-// breaker table).
+// shard selects addr's slice of the session table (addrShard: the same
+// FNV-1a as the breaker and RTT tables).
 func (p *pool) shard(addr string) *poolShard {
-	h := uint32(2166136261)
-	for i := 0; i < len(addr); i++ {
-		h ^= uint32(addr[i])
-		h *= 16777619
-	}
-	return &p.shards[h&(stateShards-1)]
+	return &p.shards[addrShard(addr)]
 }
 
 // session is one peer's long-lived multiplexed connection.

@@ -1,0 +1,308 @@
+package live
+
+// White-box tests for proximity-aware replica selection: the OrderReplicas
+// comparator (suspicion outranks RTT), the exploration jitter for
+// unmeasured peers, and the sharded RTT estimator table.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"bristle/internal/hashkey"
+	"bristle/internal/transport"
+	"bristle/internal/wire"
+)
+
+func entries(addrs ...string) []wire.Entry {
+	out := make([]wire.Entry, len(addrs))
+	for i, a := range addrs {
+		out[i] = wire.Entry{Addr: a}
+	}
+	return out
+}
+
+func addrsOf(es []wire.Entry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Addr
+	}
+	return out
+}
+
+func TestOrderReplicas(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	cases := []struct {
+		name    string
+		in      []string
+		suspect map[string]bool
+		eff     map[string]time.Duration
+		want    []string
+	}{
+		{
+			name: "ascending RTT",
+			in:   []string{"c", "a", "b"},
+			eff:  map[string]time.Duration{"a": ms(1), "b": ms(2), "c": ms(3)},
+			want: []string{"a", "b", "c"},
+		},
+		{
+			name:    "suspects last regardless of RTT",
+			in:      []string{"fast-dead", "slow-live"},
+			suspect: map[string]bool{"fast-dead": true},
+			eff:     map[string]time.Duration{"fast-dead": ms(1), "slow-live": ms(50)},
+			want:    []string{"slow-live", "fast-dead"},
+		},
+		{
+			name:    "suspects keep RTT order among themselves",
+			in:      []string{"s-far", "ok", "s-near"},
+			suspect: map[string]bool{"s-far": true, "s-near": true},
+			eff:     map[string]time.Duration{"s-far": ms(9), "ok": ms(5), "s-near": ms(2)},
+			want:    []string{"ok", "s-near", "s-far"},
+		},
+		{
+			name: "no data preserves input (key-distance) order",
+			in:   []string{"x", "y", "z"},
+			want: []string{"x", "y", "z"},
+		},
+		{
+			name: "missing eff sorts first but stably",
+			in:   []string{"measured", "unknown1", "unknown2"},
+			eff:  map[string]time.Duration{"measured": ms(4)},
+			want: []string{"unknown1", "unknown2", "measured"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := entries(tc.in...)
+			OrderReplicas(got, tc.suspect, tc.eff)
+			if fmt.Sprint(addrsOf(got)) != fmt.Sprint(tc.want) {
+				t.Errorf("OrderReplicas(%v) = %v, want %v", tc.in, addrsOf(got), tc.want)
+			}
+		})
+	}
+}
+
+// TestSelectReplicasRegionDiversity: under region-striped placement
+// every record's replica set spans min(k, regions) distinct regions, the
+// diversified set still takes the closest candidate of each region, and
+// regions < 2 degrades to plain k-closest.
+func TestSelectReplicasRegionDiversity(t *testing.T) {
+	regions := []string{"east", "west", "south"}
+	arc := hashkey.FullRing()
+	cands := make([]wire.Entry, 0, 90)
+	for i := 0; i < 90; i++ {
+		name := fmt.Sprintf("s-%d", i)
+		cands = append(cands, wire.Entry{
+			Key:  hashkey.RegionStriped(arc, name, regions[i%3], regions),
+			Addr: name,
+		})
+	}
+	for q := 0; q < 50; q++ {
+		key := hashkey.FromName(fmt.Sprintf("record-%d", q))
+
+		plain := SelectReplicas(append([]wire.Entry(nil), cands...), key, 3, 0)
+		byDist := append([]wire.Entry(nil), cands...)
+		sort.Slice(byDist, func(i, j int) bool { return hashkey.Closer(key, byDist[i].Key, byDist[j].Key) })
+		for i := range plain {
+			if plain[i].Addr != byDist[i].Addr {
+				t.Fatalf("record %d: regions=0 selection diverges from plain k-closest at %d", q, i)
+			}
+		}
+
+		div := SelectReplicas(append([]wire.Entry(nil), cands...), key, 3, 3)
+		seen := map[int]bool{}
+		for _, e := range div {
+			ri := hashkey.RegionIndex(arc, e.Key, 3)
+			if seen[ri] {
+				t.Fatalf("record %d: replica set repeats region %d: %v", q, ri, div)
+			}
+			seen[ri] = true
+		}
+		// Each member is the closest candidate of its own region.
+		for _, e := range div {
+			ri := hashkey.RegionIndex(arc, e.Key, 3)
+			for _, c := range byDist {
+				if hashkey.RegionIndex(arc, c.Key, 3) != ri {
+					continue
+				}
+				if c.Addr != e.Addr {
+					t.Fatalf("record %d: region %d replica %s is not its region's closest (%s)", q, ri, e.Addr, c.Addr)
+				}
+				break
+			}
+		}
+		// The region-diverse set must be deterministic across callers: a
+		// second computation over a reshuffled candidate slice agrees.
+		shuffled := append([]wire.Entry(nil), cands...)
+		for i := range shuffled {
+			j := (i * 37) % len(shuffled)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		again := SelectReplicas(shuffled, key, 3, 3)
+		for i := range div {
+			if div[i].Addr != again[i].Addr {
+				t.Fatalf("record %d: selection depends on candidate order: %v vs %v", q, addrsOf(div), addrsOf(again))
+			}
+		}
+	}
+	// k beyond the region count fills the tail with the closest
+	// passed-over candidates, still leading with one per region.
+	key := hashkey.FromName("wide-record")
+	wide := SelectReplicas(append([]wire.Entry(nil), cands...), key, 5, 3)
+	if len(wide) != 5 {
+		t.Fatalf("k=5 selection returned %d replicas", len(wide))
+	}
+	lead := map[int]bool{}
+	for _, e := range wide[:3] {
+		lead[hashkey.RegionIndex(arc, e.Key, 3)] = true
+	}
+	if len(lead) != 3 {
+		t.Fatalf("k=5 selection's first 3 replicas span %d regions, want 3", len(lead))
+	}
+}
+
+// TestPeerHealthExploresUnknownPeers pins the exploration policy: an
+// unmeasured candidate gets a jittered effective RTT in [0, mean of the
+// measured candidates], so it is neither always first nor exiled behind
+// every measured peer, and the jitter is frozen per snapshot (the sort
+// comparator must be consistent).
+func TestPeerHealthExploresUnknownPeers(t *testing.T) {
+	n := NewNode(Config{Name: "prober"}, transport.NewMem())
+	defer n.Close()
+	n.rtt.observe("measured-a", 10*time.Millisecond)
+	n.rtt.observe("measured-b", 30*time.Millisecond)
+	cands := entries("measured-a", "measured-b", "unknown")
+
+	mean := 20 * time.Millisecond
+	leadCount := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		h := n.peerHealth(cands)
+		if h.eff["measured-a"] != 10*time.Millisecond || h.eff["measured-b"] != 30*time.Millisecond {
+			t.Fatalf("measured eff wrong: %v", h.eff)
+		}
+		ex := h.eff["unknown"]
+		if ex < 0 || ex > mean {
+			t.Fatalf("exploration jitter %v outside [0, %v]", ex, mean)
+		}
+		if ex < 10*time.Millisecond {
+			leadCount++
+		}
+	}
+	// The jitter is uniform over [0, 20ms]: the unknown peer should lead
+	// (draw under measured-a's 10ms) roughly half the time.
+	if leadCount == 0 || leadCount == trials {
+		t.Fatalf("unknown peer led %d/%d fan-outs; exploration is degenerate", leadCount, trials)
+	}
+}
+
+// TestPeerHealthNoMeasurementsUsesFloor: with nothing measured the
+// exploration scale falls back to rttExploreFloor rather than zero.
+func TestPeerHealthNoMeasurementsUsesFloor(t *testing.T) {
+	n := NewNode(Config{Name: "cold"}, transport.NewMem())
+	defer n.Close()
+	cands := entries("p", "q")
+	sawNonZero := false
+	for i := 0; i < 100; i++ {
+		h := n.peerHealth(cands)
+		for _, addr := range []string{"p", "q"} {
+			if h.eff[addr] < 0 || h.eff[addr] > rttExploreFloor {
+				t.Fatalf("cold jitter %v outside [0, %v]", h.eff[addr], rttExploreFloor)
+			}
+			if h.eff[addr] > 0 {
+				sawNonZero = true
+			}
+		}
+	}
+	if !sawNonZero {
+		t.Fatal("cold exploration jitter never non-zero")
+	}
+}
+
+func TestRTTTableObserveEstimate(t *testing.T) {
+	var tbl rttTable
+	tbl.init()
+	if _, _, ok := tbl.estimate("nobody"); ok {
+		t.Fatal("estimate for unseen peer should be absent")
+	}
+	tbl.observe("p", 10*time.Millisecond)
+	est, samples, ok := tbl.estimate("p")
+	if !ok || samples != 1 || est != 10*time.Millisecond {
+		t.Fatalf("first sample = (%v, %d, %v), want exactly 10ms", est, samples, ok)
+	}
+	tbl.observe("p", 20*time.Millisecond)
+	est, samples, _ = tbl.estimate("p")
+	want := time.Duration((1-rttAlpha)*float64(10*time.Millisecond) + rttAlpha*float64(20*time.Millisecond))
+	if samples != 2 || est < want-time.Millisecond || est > want+time.Millisecond {
+		t.Fatalf("smoothed = (%v, %d), want ~%v", est, samples, want)
+	}
+	// Non-positive durations (clock granularity) still count as samples.
+	tbl.observe("q", 0)
+	if _, samples, ok := tbl.estimate("q"); !ok || samples != 1 {
+		t.Fatal("zero-duration sample not counted")
+	}
+}
+
+// TestRTTTableConcurrent hammers observe/estimate across peers and
+// goroutines; run under -race this pins the lock-free read discipline.
+func TestRTTTableConcurrent(t *testing.T) {
+	var tbl rttTable
+	tbl.init()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				addr := fmt.Sprintf("peer-%d", i%37)
+				tbl.observe(addr, time.Duration(g+1)*time.Millisecond)
+				tbl.estimate(addr)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 37; i++ {
+		if _, samples, ok := tbl.estimate(fmt.Sprintf("peer-%d", i)); !ok || samples == 0 {
+			t.Fatalf("peer-%d missing after concurrent observes", i)
+		}
+	}
+}
+
+// TestRTTFedFromOrdinaryExchanges: a live node's estimator table fills
+// from its normal request path (here: pings through the pool), with no
+// probe traffic, and the estimate tracks the injected link latency.
+func TestRTTFedFromOrdinaryExchanges(t *testing.T) {
+	faulty := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{
+		Seed: 7,
+		Latency: func(from, to string) time.Duration {
+			if from == "a" && to == "b" {
+				return 5 * time.Millisecond
+			}
+			return 0
+		},
+	})
+	a := NewNode(Config{Name: "a"}, faulty.Endpoint("a"))
+	if err := a.Start(""); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := NewNode(Config{Name: "b"}, faulty.Endpoint("b"))
+	if err := b.Start(""); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 4; i++ {
+		if err := a.Ping(b.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, samples, ok := a.rtt.estimate(b.Addr())
+	if !ok || samples != 4 {
+		t.Fatalf("estimate = (%v, %d, %v), want 4 samples", est, samples, ok)
+	}
+	if est < 4*time.Millisecond || est > 50*time.Millisecond {
+		t.Fatalf("estimate %v does not track the 5ms injected link latency", est)
+	}
+}

@@ -81,7 +81,11 @@ func (n *Node) PublishContext(ctx context.Context) error {
 		return errors.New("live: no known stationary peers")
 	}
 	sort.Slice(records, func(i, j int) bool { return records[i].Key < records[j].Key })
-	suspect := n.suspectSnapshot(cands)
+	// One peerHealth snapshot ranks the whole fan-out: suspicion is one
+	// breaker-table scan (not one lock round per record) and every
+	// candidate's effective RTT — measured or exploration-jittered — is
+	// frozen, so replica ordering cannot flap mid-batch.
+	health := n.peerHealth(cands)
 
 	// Group every record's replica set by owner address. Self-owned
 	// records (a stationary node can be its own replica) are ingested
@@ -90,7 +94,7 @@ func (n *Node) PublishContext(ctx context.Context) error {
 	var order []string
 	var selfRecs []wire.Entry
 	for _, rec := range records {
-		for _, owner := range ownersForKey(cands, suspect, rec.Key, n.cfg.Replication) {
+		for _, owner := range ownersForKey(cands, health, rec.Key, n.cfg.Replication, len(n.cfg.Regions)) {
 			if owner.Key == n.key {
 				selfRecs = append(selfRecs, rec)
 				continue

@@ -59,15 +59,22 @@ func (t *peerTable) init() {
 	}
 }
 
-// shard selects addr's shard by FNV-1a — addresses are short strings, and
-// the keyed tables' mask trick needs a well-mixed integer first.
-func (t *peerTable) shard(addr string) *peerShard {
+// addrShard hashes an address to a shard index by FNV-1a — addresses
+// are short strings, and the keyed tables' mask trick needs a
+// well-mixed integer first. Shared by the breaker, RTT, and pool
+// tables so one peer's state co-locates by construction.
+func addrShard(addr string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(addr); i++ {
 		h ^= uint32(addr[i])
 		h *= 16777619
 	}
-	return &t.shards[h&(stateShards-1)]
+	return h & (stateShards - 1)
+}
+
+// shard selects addr's breaker shard.
+func (t *peerTable) shard(addr string) *peerShard {
+	return &t.shards[addrShard(addr)]
 }
 
 // suspectAddrs returns the addresses whose breakers are open or
@@ -85,6 +92,30 @@ func (t *peerTable) suspectAddrs() []string {
 		sh.mu.Unlock()
 	}
 	sort.Strings(out)
+	return out
+}
+
+// suspectSet returns the set of peers whose breakers are non-closed,
+// nil when every breaker is closed — the steady state, in which the
+// whole scan costs one mutex round per shard and zero allocations.
+// One call snapshots suspicion for an entire fan-out, where the old
+// per-candidate sampling re-locked the table once per candidate per
+// key ranked.
+func (t *peerTable) suspectSet() map[string]bool {
+	var out map[string]bool
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for addr, b := range sh.m {
+			if b.state != bkClosed {
+				if out == nil {
+					out = make(map[string]bool)
+				}
+				out[addr] = true
+			}
+		}
+		sh.mu.Unlock()
+	}
 	return out
 }
 
@@ -245,10 +276,24 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// attempt runs a single exchange, bounded by min(ctx, RequestTimeout).
+// attempt runs a single exchange and, on success, folds its measured
+// round-trip time into addr's RTT estimator (rtt.go) — proximity data
+// comes for free with the traffic the node already sends, never from
+// extra probes. Failures feed nothing: a timeout's duration measures
+// the timeout, not the link.
+func (n *Node) attempt(ctx context.Context, addr string, m *wire.Message) (*wire.Message, error) {
+	start := time.Now()
+	resp, err := n.attemptOnce(ctx, addr, m)
+	if err == nil {
+		n.rtt.observe(addr, time.Since(start))
+	}
+	return resp, err
+}
+
+// attemptOnce runs a single exchange, bounded by min(ctx, RequestTimeout).
 // With a pool, the exchange is multiplexed over addr's shared connection;
 // a saturated pool falls back to a one-shot dial for just this exchange.
-func (n *Node) attempt(ctx context.Context, addr string, m *wire.Message) (*wire.Message, error) {
+func (n *Node) attemptOnce(ctx context.Context, addr string, m *wire.Message) (*wire.Message, error) {
 	actx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
 	defer cancel()
 	if p := n.pool; p != nil {

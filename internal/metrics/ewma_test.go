@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEWMAFirstSampleSetsValue(t *testing.T) {
+	var e EWMA
+	if v, n := e.Load(); v != 0 || n != 0 {
+		t.Fatalf("zero EWMA = (%v, %d), want (0, 0)", v, n)
+	}
+	e.Observe(250, 0.25)
+	v, n := e.Load()
+	if n != 1 {
+		t.Fatalf("samples = %d, want 1", n)
+	}
+	if v != 250 {
+		t.Fatalf("first sample gave %v, want 250", v)
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	var e EWMA
+	e.Observe(100, 0.5)
+	e.Observe(200, 0.5)
+	v, n := e.Load()
+	if n != 2 {
+		t.Fatalf("samples = %d, want 2", n)
+	}
+	if math.Abs(v-150) > 1e-3 {
+		t.Fatalf("EWMA after 100,200 (alpha 0.5) = %v, want 150", v)
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	var e EWMA
+	e.Observe(1e6, 0.25) // far-off seed
+	for i := 0; i < 200; i++ {
+		e.Observe(42, 0.25)
+	}
+	v, _ := e.Load()
+	if math.Abs(v-42) > 0.5 {
+		t.Fatalf("EWMA did not converge: %v, want ≈42", v)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	var e EWMA
+	e.Observe(7, 0.5)
+	e.Reset()
+	if v, n := e.Load(); v != 0 || n != 0 {
+		t.Fatalf("after Reset = (%v, %d), want (0, 0)", v, n)
+	}
+}
+
+// TestEWMAConcurrent hammers one EWMA from many goroutines with a
+// constant sample: the count must equal the number of observations and
+// the value must equal the sample exactly (a torn read/write would show
+// up as either). Run under -race this also proves the atomicity claim.
+func TestEWMAConcurrent(t *testing.T) {
+	var e EWMA
+	const goroutines, per = 8, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Observe(500, 0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	v, n := e.Load()
+	if n != goroutines*per {
+		t.Fatalf("samples = %d, want %d", n, goroutines*per)
+	}
+	if v != 500 {
+		t.Fatalf("value = %v, want exactly 500", v)
+	}
+}
+
+func TestEWMACountSaturates(t *testing.T) {
+	var e EWMA
+	e.bits.Store(ewmaPack(9, math.MaxUint32))
+	e.Observe(9, 0.5)
+	if _, n := e.Load(); n != math.MaxUint32 {
+		t.Fatalf("count wrapped: %d", n)
+	}
+}

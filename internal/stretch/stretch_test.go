@@ -1,0 +1,92 @@
+package stretch
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testConfig(placement, ordering bool) Config {
+	return Config{
+		Seed:            42,
+		Routers:         1000,
+		Stationary:      256,
+		Records:         512,
+		Clients:         64,
+		Replication:     4,
+		Correspondents:  8,
+		Warmup:          12,
+		Queries:         2048,
+		RegionPlacement: placement,
+		LatencyOrdering: ordering,
+		RTTNoise:        0.1,
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(testConfig(true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestRunSanity(t *testing.T) {
+	res, err := Run(testConfig(true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries+res.SkippedColocated != 2048 {
+		t.Fatalf("queries %d + skipped %d != 2048", res.Queries, res.SkippedColocated)
+	}
+	if res.MedianStretch < 1 || res.P90Stretch < res.MedianStretch {
+		t.Fatalf("impossible quantiles: median %v p90 %v (stretch is >= 1 by construction)", res.MedianStretch, res.P90Stretch)
+	}
+	if res.MeanChosenCost < res.MeanBestCost {
+		t.Fatalf("chosen cost %v below the best-replica lower bound %v", res.MeanChosenCost, res.MeanBestCost)
+	}
+	if res.Regions < 2 {
+		t.Fatalf("topology yielded %d regions; the experiment needs several", res.Regions)
+	}
+}
+
+// TestProximityBeatsRandom is the package's reason to exist: with
+// region-diverse placement and latency-ordered contact, clients resolve
+// against measurably nearer replicas than the pre-proximity baseline.
+func TestProximityBeatsRandom(t *testing.T) {
+	prox, err := Run(testConfig(true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Run(testConfig(false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prox.MedianStretch >= random.MedianStretch {
+		t.Fatalf("proximity median stretch %.3f not below baseline %.3f", prox.MedianStretch, random.MedianStretch)
+	}
+	if prox.MeanChosenCost >= random.MeanChosenCost {
+		t.Fatalf("proximity mean cost %.2f not below baseline %.2f", prox.MeanChosenCost, random.MeanChosenCost)
+	}
+}
+
+// TestOrderingAloneHelps: even without region placement, latency-ordered
+// contact over the same replica sets lowers the paid cost.
+func TestOrderingAloneHelps(t *testing.T) {
+	ordered, err := Run(testConfig(false, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unordered, err := Run(testConfig(false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered.MedianStretch >= unordered.MedianStretch {
+		t.Fatalf("ordering-only median stretch %.3f not below unordered %.3f", ordered.MedianStretch, unordered.MedianStretch)
+	}
+}

@@ -47,10 +47,11 @@ func (l Level) String() string {
 // Graph is an undirected weighted graph in adjacency-list form.
 // The zero Graph is empty; use AddRouter/AddEdge or the generator.
 type Graph struct {
-	adj    [][]Edge
-	levels []Level
-	domain []int32 // domain index per router (transit domains first)
-	edges  int
+	adj     [][]Edge
+	levels  []Level
+	domain  []int32 // domain index per router (transit domains first)
+	transit []int32 // serving transit domain per router (-1 = unknown)
+	edges   int
 }
 
 // NewGraph returns an empty graph with capacity hints for n routers.
@@ -69,8 +70,21 @@ func (g *Graph) AddRouter(level Level, domain int32) RouterID {
 	g.adj = append(g.adj, nil)
 	g.levels = append(g.levels, level)
 	g.domain = append(g.domain, domain)
+	g.transit = append(g.transit, -1)
 	return id
 }
+
+// SetTransitDomain records which transit domain serves router r: the
+// router's own domain for transit routers, the sponsor's for stub
+// routers. The transit-stub generator fills this in; hand-built graphs
+// may leave it unset (-1).
+func (g *Graph) SetTransitDomain(r RouterID, d int32) { g.transit[r] = d }
+
+// TransitDomainOf returns the transit domain serving router r, or -1
+// when unknown. For generated transit-stub topologies this is the
+// natural "region" label: every host behind the same transit domain
+// shares a geography.
+func (g *Graph) TransitDomainOf(r RouterID) int32 { return g.transit[r] }
 
 // AddEdge inserts an undirected edge with the given weight. Self-loops and
 // non-positive weights are rejected. Duplicate edges are merged keeping the

@@ -375,3 +375,34 @@ func TestQuickGeneratedGraphsConnected(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTransitDomainOfGenerated(t *testing.T) {
+	p := smallParams()
+	g := mustGen(t, p, 21)
+	counts := map[int32]int{}
+	for r := RouterID(0); int(r) < g.NumRouters(); r++ {
+		d := g.TransitDomainOf(r)
+		if d < 0 || int(d) >= p.TransitDomains {
+			t.Fatalf("router %d: transit domain %d out of range", r, d)
+		}
+		if g.LevelOf(r) == Transit && d != g.DomainOf(r) {
+			t.Fatalf("transit router %d: serving domain %d != own domain %d", r, d, g.DomainOf(r))
+		}
+		counts[d]++
+	}
+	if len(counts) != p.TransitDomains {
+		t.Fatalf("routers span %d transit domains, want %d", len(counts), p.TransitDomains)
+	}
+}
+
+func TestTransitDomainOfHandBuilt(t *testing.T) {
+	g := NewGraph(2)
+	a := g.AddRouter(Transit, 0)
+	if got := g.TransitDomainOf(a); got != -1 {
+		t.Fatalf("unset transit domain = %d, want -1", got)
+	}
+	g.SetTransitDomain(a, 3)
+	if got := g.TransitDomainOf(a); got != 3 {
+		t.Fatalf("transit domain = %d, want 3", got)
+	}
+}

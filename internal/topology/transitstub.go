@@ -130,6 +130,7 @@ func GenerateTransitStub(p TransitStubParams, rng *rand.Rand) (*Graph, error) {
 		ids := make([]RouterID, p.TransitPerDomain)
 		for i := range ids {
 			ids[i] = g.AddRouter(Transit, domainIdx)
+			g.SetTransitDomain(ids[i], int32(d))
 		}
 		connectDomain(g, ids, p.EdgeProb, func() float64 { return weight(p.IntraTransitWeight) }, rng)
 		transitRouters[d] = ids
@@ -166,6 +167,7 @@ func GenerateTransitStub(p TransitStubParams, rng *rand.Rand) (*Graph, error) {
 				ids := make([]RouterID, p.StubPerDomain)
 				for i := range ids {
 					ids[i] = g.AddRouter(Stub, domainIdx)
+					g.SetTransitDomain(ids[i], int32(d))
 				}
 				connectDomain(g, ids, p.EdgeProb, func() float64 { return weight(p.IntraStubWeight) }, rng)
 				// Gateway link from a random stub router up to the sponsor.

@@ -39,6 +39,15 @@ type FaultConfig struct {
 	// applied synchronously on the send path (a slow link stalls its
 	// sender). DelayMax 0 disables delay.
 	DelayMin, DelayMax time.Duration
+	// Latency, if set, returns a deterministic per-link latency for each
+	// frame on the directed link from → to (endpoint names; to is "" on
+	// the accepted/response side of a connection, so a topology-derived
+	// function typically charges the full round trip on the forward
+	// direction and returns 0 for unknown pairs). It composes with the
+	// uniform DelayMin/DelayMax jitter and is applied synchronously like
+	// it. This is how harness scenarios give each node pair a stable
+	// "distance" for proximity-aware ordering to discover.
+	Latency func(from, to string) time.Duration
 	// Counters optionally records every injected fault (fault.drop,
 	// fault.delay, fault.duplicate, fault.corrupt, fault.refuse,
 	// fault.partition_drop, fault.partition_refuse).
@@ -333,6 +342,12 @@ func (c *faultyConn) Send(m *wire.Message) error {
 	if d := c.link.delay(cfg.DelayMin, cfg.DelayMax); d > 0 {
 		f.count("fault.delay")
 		time.Sleep(d)
+	}
+	if cfg.Latency != nil {
+		if d := cfg.Latency(c.from, c.to); d > 0 {
+			f.count("fault.latency")
+			time.Sleep(d)
+		}
 	}
 	if c.link.chance(cfg.Corrupt) {
 		f.count("fault.corrupt")

@@ -214,3 +214,37 @@ func TestFaultySetConfigTogglesChaos(t *testing.T) {
 		t.Fatalf("chaos phase delivered anyway (err=%v)", err)
 	}
 }
+
+func TestFaultyLatencyHookPerLink(t *testing.T) {
+	f := NewFaulty(NewMem(), FaultConfig{
+		Seed: 7,
+		Latency: func(from, to string) time.Duration {
+			if from == "a" && to == "b" {
+				return 40 * time.Millisecond
+			}
+			return 0 // accepted side (to == "") and every other link: free
+		},
+	})
+	client, server := faultyPair(t, f, "a", "b")
+	start := time.Now()
+	if err := client.Send(&wire.Message{Type: wire.TPing}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("forward frame arrived after %v, want ≥ 40ms injected latency", elapsed)
+	}
+	// The response direction (accepted side, to == "") pays nothing.
+	start = time.Now()
+	if err := server.Send(&wire.Message{Type: wire.TPong}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("response took %v, want no injected latency", elapsed)
+	}
+}
