@@ -4,8 +4,10 @@ BENCHTIME    ?= 100x
 # to be stable; iteration counts (e.g. 2000x) make the gate noise-bound.
 GATETIME     ?= 1s
 SOAK_SECONDS ?= 60
+SOAK_EVENTS  ?= 400
+SOAK_SEED    ?= 0
 
-.PHONY: build test race bench bench-stretch bench-gate soak clean
+.PHONY: build test race bench bench-stretch bench-gate soak soak-10k clean
 
 build:
 	$(GO) build ./...
@@ -82,6 +84,19 @@ bench-gate:
 soak:
 	BRISTLE_SOAK_SECONDS=$(SOAK_SECONDS) $(GO) test -race -count=1 \
 		-run 'TestSoak$$' -timeout 20m -v ./internal/harness
+
+# soak-10k boots the production-scale fabric — a 64-node stationary core
+# fronting 9936 verified observer mobiles — and drives it through a
+# Weibull-churn schedule with event-budgeted invariant checking. Wall
+# clock is bounded by SOAK_EVENTS, not cluster size. Runs without the
+# race detector (10k nodes under -race needs more memory than CI has);
+# the 200-node TestChurn200Weibull covers the same paths under -race.
+# A failure prints the reproducing seed; replay it with SOAK_SEED=<seed>
+# (and the same SOAK_EVENTS) for a byte-identical op schedule.
+soak-10k:
+	BRISTLE_SOAK10K=1 BRISTLE_SOAK_EVENTS=$(SOAK_EVENTS) \
+		BRISTLE_SOAK_SEED=$(SOAK_SEED) $(GO) test -count=1 \
+		-run 'TestSoak10k$$' -timeout 30m -v ./internal/harness | tee soak10k.log
 
 clean:
 	rm -f bench_resolve.txt BENCH_resolve.json bench_publish.txt BENCH_publish.json \

@@ -18,6 +18,13 @@
 // Watch a key and print proactive updates as they arrive:
 //
 //	bristled -name watcher -join 127.0.0.1:7001 -watch roamer
+//
+// Verified admission: give nodes self-certifying identities (the key
+// becomes H(pubkey), joins carry a signed proof) and make the bootstrap
+// reject unproven claims:
+//
+//	bristled -name alpha -identity-seed alpha-secret -verify-joins -listen 127.0.0.1:7001
+//	bristled -name roamer -mobile -identity-seed roamer-secret -join 127.0.0.1:7001
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -51,8 +59,12 @@ func main() {
 	region := flag.String("region", "", "stationary: this node's region label (region-clustered key placement)")
 	regions := flag.String("regions", "", "comma-separated full region set; must be identical on every node")
 	lease := flag.Duration("lease", 30*time.Second, "location lease TTL (0 = forever)")
+	identitySeed := flag.String("identity-seed", "", "derive a self-certifying identity from this seed string (key becomes H(pubkey); joins carry a signed proof)")
+	freshIdentity := flag.Bool("identity", false, "generate a fresh random self-certifying identity for this run")
+	verifyJoins := flag.Bool("verify-joins", false, "reject join requests that carry no valid identity proof")
+	observer := flag.Bool("observer", false, "join as an observer: fetch the stationary directory without entering ring membership")
 	rebind := flag.Duration("rebind", 0, "mobile: re-bind to a new port at this interval")
-	watch := flag.String("watch", "", "register interest in this node name and print its updates")
+	watch := flag.String("watch", "", "register interest in this node and print its updates (a name, or the 16-digit hex key a node prints at startup — the handle for identity-keyed nodes)")
 	gossip := flag.Duration("gossip", 2*time.Second, "anti-entropy gossip interval")
 	stats := flag.Duration("stats", 30*time.Second, "resilience counter log interval (0 = only at exit)")
 	opTimeout := flag.Duration("op-timeout", 30*time.Second, "deadline for each foreground protocol operation")
@@ -96,6 +108,22 @@ func main() {
 	}
 	if *noPool {
 		opts = append(opts, live.WithoutPool())
+	}
+	switch {
+	case *identitySeed != "":
+		opts = append(opts, live.WithIdentity(hashkey.IdentityFromSeed([]byte(*identitySeed))))
+	case *freshIdentity:
+		id, err := hashkey.NewIdentity()
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, live.WithIdentity(id))
+	}
+	if *verifyJoins {
+		opts = append(opts, live.WithVerifiedJoins())
+	}
+	if *observer {
+		opts = append(opts, live.WithObserverJoin())
 	}
 	if *verbose {
 		opts = append(opts, live.WithLogger(log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)))
@@ -251,6 +279,19 @@ func withDeadline(parent context.Context, d time.Duration, op func(context.Conte
 	return op(ctx)
 }
 
+// watchKey resolves the -watch argument to a ring key: a 16-digit hex
+// key is used verbatim (the startup-printed handle — the only stable
+// one for nodes whose key is derived from an identity, not a name);
+// anything else is hashed as a node name.
+func watchKey(s string) hashkey.Key {
+	if len(s) == 16 {
+		if v, err := strconv.ParseUint(s, 16, 64); err == nil {
+			return hashkey.Key(v)
+		}
+	}
+	return hashkey.FromName(s)
+}
+
 // watchLoop resolves the watched node and registers interest, retrying
 // until it succeeds (the watched node may join later) or ctx ends.
 // Registrations are leased soft state — they expire with this node's
@@ -258,7 +299,7 @@ func withDeadline(parent context.Context, d time.Duration, op func(context.Conte
 // registration (against the target's current address) well inside the
 // lease window; with a zero lease one registration lasts forever.
 func watchLoop(ctx context.Context, node *live.Node, watched string, lease, opTimeout time.Duration) {
-	key := hashkey.FromName(watched)
+	key := watchKey(watched)
 	registered := false
 	for ctx.Err() == nil {
 		err := withDeadline(ctx, opTimeout, func(ctx context.Context) error {

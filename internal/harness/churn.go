@@ -1,0 +1,201 @@
+package harness
+
+// churn.go is the production-shaped churn scheduler. Where GenSchedule
+// (soak.go) draws op kinds from a flat distribution, GenChurn simulates
+// each mobile member's session process on a virtual clock: session
+// (online) and offline durations are drawn from Weibull distributions —
+// the fit measurement studies report for deployed P2P networks, whose
+// shape < 1 captures the observed heavy tail of many short-lived peers
+// and few long-lived ones — and the per-node on/off events are merged
+// into one time-ordered Crash/Restart schedule with resolve/move
+// workload interleaved. Everything is drawn from the caller's rng, so
+// one seed yields one byte-identical schedule (ScheduleString): the
+// replay contract that makes a failing soak debuggable.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Weibull is a two-parameter Weibull distribution over durations:
+// Shape is the usual k, Scale the usual λ. Shape < 1 gives the
+// heavy-tailed session lengths measured in real P2P populations;
+// Shape 1 degrades to exponential.
+type Weibull struct {
+	Shape float64
+	Scale time.Duration
+}
+
+// Sample draws one duration by the inverse-CDF transform
+// λ·(−ln(1−u))^{1/k}, clamped below at 1ms so a pathological draw can
+// never produce a zero-length session.
+func (w Weibull) Sample(rng *rand.Rand) time.Duration {
+	u := rng.Float64() // in [0, 1): 1-u never 0, the log never infinite
+	d := time.Duration(float64(w.Scale) * math.Pow(-math.Log1p(-u), 1/w.Shape))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// ChurnOptions shapes a generated churn schedule. The zero value is
+// usable: heavy-tailed sessions averaging a few virtual minutes over a
+// ten-minute horizon.
+type ChurnOptions struct {
+	// Session and Offline are the per-mobile online/offline duration
+	// distributions on the virtual clock. Defaults: shape 0.6 (heavy
+	// tail), scale 60s sessions and 30s offline gaps.
+	Session Weibull
+	Offline Weibull
+	// Horizon bounds the virtual clock; each mobile's on/off process is
+	// simulated until it crosses the horizon. Default 10 minutes. The
+	// virtual clock orders events — it is never slept on, so a long
+	// horizon does not mean a long test.
+	Horizon time.Duration
+	// MaxEvents caps the merged Crash/Restart event count (the event
+	// budget that bounds a soak's wall clock regardless of cluster
+	// size). The time-ordered prefix is kept; members still offline at
+	// the cut are restarted by the epilogue. Default 64.
+	MaxEvents int
+	// MoveProb is the per-event probability of a tolerated Move of a
+	// random online mobile between churn events. Default 0.25.
+	MoveProb float64
+	// ResolveProb is the per-event probability of a tolerated Resolve of
+	// a random online mobile between churn events. Default 0.5.
+	ResolveProb float64
+	// Watchers is how many mobiles get a stationary watcher registered
+	// in the prologue (exercising update delivery under churn). Default
+	// 4, capped at the mobile population.
+	Watchers int
+}
+
+func (o ChurnOptions) withDefaults() ChurnOptions {
+	if o.Session == (Weibull{}) {
+		o.Session = Weibull{Shape: 0.6, Scale: 60 * time.Second}
+	}
+	if o.Offline == (Weibull{}) {
+		o.Offline = Weibull{Shape: 0.6, Scale: 30 * time.Second}
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 10 * time.Minute
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 64
+	}
+	if o.MoveProb <= 0 {
+		o.MoveProb = 0.25
+	}
+	if o.ResolveProb <= 0 {
+		o.ResolveProb = 0.5
+	}
+	if o.Watchers <= 0 {
+		o.Watchers = 4
+	}
+	return o
+}
+
+// churnEvent is one on/off transition of one mobile on the virtual clock.
+type churnEvent struct {
+	at   time.Duration
+	down bool // true: session ends (Crash); false: node returns (Restart)
+	node string
+}
+
+// GenChurn derives a Weibull-churn op schedule deterministically from
+// rng. Every mobile starts online; its first session length is drawn
+// from Session, after which it alternates Offline/Session draws until
+// the horizon. The merged, time-ordered transition stream (truncated to
+// MaxEvents) becomes Crash/Restart ops with tolerated Resolve/Move
+// workload interleaved; the prologue bulk-publishes the fleet and
+// registers a few stationary watchers, and the epilogue restarts
+// whoever the truncated stream left offline so the quiescence
+// invariants cover the full membership.
+//
+// Only mobiles churn: the stationary core is the paper's stable
+// infrastructure layer, and the record-loss story under stationary
+// failure is the soak generator's (GenSchedule) territory.
+func GenChurn(cfg Config, rng *rand.Rand, opt ChurnOptions) []Op {
+	opt = opt.withDefaults()
+
+	var events []churnEvent
+	for _, m := range cfg.Mobile {
+		t := opt.Session.Sample(rng)
+		for t < opt.Horizon {
+			events = append(events, churnEvent{at: t, down: true, node: m})
+			back := t + opt.Offline.Sample(rng)
+			if back >= opt.Horizon {
+				break // still offline at the horizon; epilogue restarts it
+			}
+			events = append(events, churnEvent{at: back, down: false, node: m})
+			t = back + opt.Session.Sample(rng)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].node < events[j].node // deterministic tiebreak
+	})
+	if len(events) > opt.MaxEvents {
+		events = events[:opt.MaxEvents]
+	}
+
+	// Prologue: the whole fleet publishes in bulk, sampled mobiles gain a
+	// stationary watcher, and the ring syncs once.
+	ops := []Op{PublishAll{}}
+	for _, target := range pickDistinct(rng, cfg.Mobile, opt.Watchers) {
+		ops = append(ops, Register{
+			Watcher: cfg.Stationary[rng.Intn(len(cfg.Stationary))],
+			Target:  target,
+		})
+	}
+	ops = append(ops, Gossip{Rounds: 1})
+
+	online := make(map[string]bool, len(cfg.Mobile))
+	for _, m := range cfg.Mobile {
+		online[m] = true
+	}
+	onlineMobiles := func() []string {
+		var out []string
+		for _, m := range cfg.Mobile {
+			if online[m] {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	for _, ev := range events {
+		// Workload between transitions: best-effort resolves and moves of
+		// whoever is online right now — under churn a single attempt may
+		// fail legitimately, so both are tolerated; the quiescence
+		// invariants are the real assertion.
+		if up := onlineMobiles(); len(up) > 0 {
+			if rng.Float64() < opt.ResolveProb {
+				from := cfg.Stationary[rng.Intn(len(cfg.Stationary))]
+				ops = append(ops, Try{Resolve{From: from, Target: up[rng.Intn(len(up))]}})
+			}
+			if rng.Float64() < opt.MoveProb {
+				ops = append(ops, Try{Move{Node: up[rng.Intn(len(up))]}})
+			}
+		}
+		if ev.down == online[ev.node] { // transition is real, not a truncation artifact
+			online[ev.node] = !ev.down
+			if ev.down {
+				ops = append(ops, Crash{Node: ev.node})
+			} else {
+				ops = append(ops, Restart{Node: ev.node})
+			}
+		}
+	}
+
+	// Epilogue: the world comes back whole.
+	for _, m := range cfg.Mobile {
+		if !online[m] {
+			ops = append(ops, Restart{Node: m})
+		}
+	}
+	ops = append(ops, Gossip{Rounds: 2})
+	return ops
+}

@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bristle/internal/hashkey"
@@ -71,6 +72,29 @@ type Config struct {
 	Tune func(name string, cfg *live.Config)
 	// Logf receives harness narration; nil silences it.
 	Logf func(format string, args ...interface{})
+	// Verified gives every member a deterministic cryptographic identity
+	// (derived from the cluster seed and the member name) and makes every
+	// node require verified joins: member keys become self-certifying
+	// (live.Config.Identity) instead of name hashes.
+	Verified bool
+	// Fabric switches bootstrap to the production-scale shape: only the
+	// stationary core is joined into ring membership and gossiped to full
+	// convergence; mobile members boot concurrently (BootWorkers wide),
+	// admit as observers — they receive the stationary directory without
+	// being ingested into any COW membership view — and skip gossip
+	// entirely, so per-mobile bootstrap cost is O(1) and a 10k-member
+	// cluster boots in seconds instead of cloning 10k-entry membership
+	// maps 10k times. Fabric implies Verified.
+	Fabric bool
+	// BootWorkers bounds the concurrency of the Fabric mobile bootstrap
+	// and of PublishAll (default 128).
+	BootWorkers int
+	// CheckBudget bounds the pair-probing invariant checkers
+	// (resolvability, no-resurrection, update delivery): each samples at
+	// most CheckBudget pairs per evaluation, drawn deterministically from
+	// the cluster seed, keeping checker cost O(checked) instead of
+	// O(cluster²). Zero means exhaustive — the pre-scale behaviour.
+	CheckBudget int
 }
 
 // member is one cluster slot: the current live.Node occupying it plus
@@ -79,15 +103,18 @@ type Config struct {
 type member struct {
 	name   string
 	mobile bool
+	ident  *hashkey.Identity // non-nil under Config.Verified; survives restarts
 
 	mu        sync.Mutex
+	key       hashkey.Key // the node's ring key, recorded at first boot
 	node      *live.Node
 	addr      string // last bound address; Restart reoccupies it
 	alive     bool
 	published bool
 	moves     int
+	watcher   bool // has ever registered interest; drives lazy drainer revival
 	stopMaint func()
-	drainStop chan struct{}
+	drainStop chan struct{} // nil until the lazy drainer starts
 	drainDone chan struct{}
 	observed  map[hashkey.Key]string // last pushed address per key, drained from Updates()
 	owned     []hashkey.Key          // resource keys the slot owns; re-applied on restart
@@ -116,6 +143,7 @@ type Cluster struct {
 	rng        *rand.Rand                     // scripted-choice PRNG (gossip partners, op fills)
 
 	baseGoroutines int
+	drainers       atomic.Int64 // exact count of live drainUpdates goroutines
 	shutdownOnce   sync.Once
 	shutdownErr    error
 }
@@ -131,6 +159,18 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = 30 * time.Second
+	}
+	if cfg.Fabric {
+		cfg.Verified = true // observer admission is only meaningful verified
+	}
+	if cfg.BootWorkers <= 0 {
+		// Oversubscribing a small box turns boot concurrency into queueing
+		// delay that blows request timeouts, so the default follows the
+		// hardware instead of a fixed fan-out.
+		cfg.BootWorkers = 16 * runtime.GOMAXPROCS(0)
+		if cfg.BootWorkers > 128 {
+			cfg.BootWorkers = 128
+		}
 	}
 	c := &Cluster{
 		cfg:            cfg,
@@ -152,21 +192,7 @@ func New(cfg Config) (*Cluster, error) {
 	for _, name := range cfg.Mobile {
 		c.addMember(name, true)
 	}
-	for _, name := range c.names {
-		if err := c.boot(name, ""); err != nil {
-			c.Shutdown()
-			return nil, err
-		}
-	}
-	boot := c.members[c.names[0]]
-	for _, name := range c.names[1:] {
-		m := c.members[name]
-		if err := m.node.JoinViaContext(c.opCtxDo(), boot.node.Addr()); err != nil {
-			c.Shutdown()
-			return nil, fmt.Errorf("harness: join %s: %w", name, err)
-		}
-	}
-	if err := c.gossipUntilFull(); err != nil {
+	if err := c.bootstrap(); err != nil {
 		c.Shutdown()
 		return nil, err
 	}
@@ -199,8 +225,94 @@ func (c *Cluster) opCtxDo() context.Context {
 
 func (c *Cluster) addMember(name string, mobile bool) {
 	m := &member{name: name, mobile: mobile, observed: make(map[hashkey.Key]string)}
+	if c.cfg.Verified {
+		// Deterministic identity: the same (seed, name) always yields the
+		// same keypair, so member keys are stable across replay runs.
+		m.ident = hashkey.IdentityFromSeed([]byte(fmt.Sprintf("%d|ident|%s", c.cfg.Seed, name)))
+	}
 	c.members[name] = m
 	c.names = append(c.names, name)
+}
+
+// ringNames returns the members joined into ring membership: everyone in
+// the classic shape, only the stationary core under Fabric (mobiles are
+// observers there and never appear in any COW membership view until they
+// publish).
+func (c *Cluster) ringNames() []string {
+	if !c.cfg.Fabric {
+		return c.names
+	}
+	return c.cfg.Stationary
+}
+
+// bootstrap boots and connects the whole cluster on the clean transport.
+// Classic shape: every member boots sequentially, joins through the
+// first node, and gossips to full convergence. Fabric shape: only the
+// stationary core does that; the mobile fleet then boots and observer-
+// joins concurrently, each mobile costing one node start plus one join
+// RPC — no gossip, no membership ingestion anywhere.
+func (c *Cluster) bootstrap() error {
+	ring := c.ringNames()
+	for _, name := range ring {
+		if err := c.boot(name, ""); err != nil {
+			return err
+		}
+	}
+	boot := c.members[ring[0]]
+	for _, name := range ring[1:] {
+		m := c.members[name]
+		if err := m.node.JoinViaContext(c.opCtxDo(), boot.node.Addr()); err != nil {
+			return fmt.Errorf("harness: join %s: %w", name, err)
+		}
+	}
+	if err := c.gossipUntilFull(); err != nil {
+		return err
+	}
+	if !c.cfg.Fabric {
+		return nil
+	}
+	return c.bootFabricMobiles()
+}
+
+// bootFabricMobiles boots the mobile fleet BootWorkers wide. Each mobile
+// observer-joins through a stationary seed chosen round-robin, spreading
+// admission load across the core.
+func (c *Cluster) bootFabricMobiles() error {
+	seeds := make([]string, len(c.cfg.Stationary))
+	for i, s := range c.cfg.Stationary {
+		seeds[i] = c.members[s].node.Addr()
+	}
+	work := make(chan int)
+	errs := make(chan error, len(c.cfg.Mobile))
+	var wg sync.WaitGroup
+	workers := c.cfg.BootWorkers
+	if workers > len(c.cfg.Mobile) {
+		workers = len(c.cfg.Mobile)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				name := c.cfg.Mobile[i]
+				if err := c.boot(name, ""); err != nil {
+					errs <- err
+					continue
+				}
+				m := c.members[name]
+				if err := m.node.JoinViaContext(c.opCtxDo(), seeds[i%len(seeds)]); err != nil {
+					errs <- fmt.Errorf("harness: observer join %s: %w", name, err)
+				}
+			}
+		}()
+	}
+	for i := range c.cfg.Mobile {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	return <-errs // nil when the channel drained empty
 }
 
 // nodeConfig mirrors the aggressive-but-bounded resilience settings the
@@ -222,14 +334,35 @@ func (c *Cluster) nodeConfig(m *member) live.Config {
 		Counters:           c.Counters,
 		Gauges:             c.Gauges,
 	}
+	if m.ident != nil {
+		lc.Identity = m.ident
+		lc.RequireVerifiedJoins = true
+	}
+	if c.cfg.Fabric && m.mobile {
+		// Observers keep no ring membership and carry no pooled sessions:
+		// at production scale the per-mobile steady-state cost must stay
+		// O(1) — dial-per-request against its few record owners, not a
+		// multiplexed session table per node. Their request timeout is
+		// boot-scale, not chaos-scale: thousands of concurrent admissions
+		// queue on real hardware, and a 250ms deadline measures that queue,
+		// not the peer.
+		lc.JoinAsObserver = true
+		lc.Pool.Disabled = true
+		lc.RequestTimeout = 2 * time.Second
+	}
 	if c.cfg.Tune != nil {
 		c.cfg.Tune(m.name, &lc)
 	}
 	return lc
 }
 
-// boot constructs and starts m's live node at listenAddr ("" allocates)
-// and attaches the update drainer. Caller ensures the slot is not alive.
+// boot constructs and starts m's live node at listenAddr ("" allocates).
+// Caller ensures the slot is not alive. The update drainer is NOT
+// started here: drainers are lazy (ensureDrainer), attached only to
+// members that register interest — at production scale a 10k-mobile
+// fleet must not cost 10k idle goroutines for update streams nobody
+// reads (the node side tolerates an undrained channel: handleUpdate's
+// send is non-blocking and counts updates.dropped).
 func (c *Cluster) boot(name, listenAddr string) error {
 	m := c.members[name]
 	nd := live.NewNode(c.nodeConfig(m), c.Net.Endpoint(name))
@@ -237,11 +370,11 @@ func (c *Cluster) boot(name, listenAddr string) error {
 		return fmt.Errorf("harness: start %s: %v", name, err)
 	}
 	m.mu.Lock()
+	m.key = nd.Key()
 	m.node = nd
 	m.addr = nd.Addr()
 	m.alive = true
-	m.drainStop = make(chan struct{})
-	m.drainDone = make(chan struct{})
+	wasWatcher := m.watcher
 	owned := append([]hashkey.Key(nil), m.owned...)
 	m.mu.Unlock()
 	// Ownership survives a reboot: the machine still hosts its resources,
@@ -250,15 +383,42 @@ func (c *Cluster) boot(name, listenAddr string) error {
 		nd.OwnKeys(owned...)
 	}
 	c.recordAddr(nd.Key(), nd.Addr())
-	go drainUpdates(m, nd, m.drainStop, m.drainDone)
+	if wasWatcher {
+		// A watcher's drainer survives the machine in spirit: the reboot
+		// revives it, so pushed updates keep landing in observed.
+		c.ensureDrainer(m)
+	}
 	return nil
+}
+
+// ensureDrainer starts m's update drainer if the member is alive and not
+// already draining. The alive check and the drain-field publication
+// happen under one critical section — the lifecycle guarantee that a
+// drainer can never start against a node Crash has already begun tearing
+// down, which is how a crash-restart cycle under heavy fan-out used to
+// leak the goroutine (the old unconditional start raced the teardown).
+// Every start increments c.drainers; every exit decrements it, so the
+// leak invariant can demand an exact zero.
+func (c *Cluster) ensureDrainer(m *member) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.alive || m.drainStop != nil {
+		return
+	}
+	m.drainStop = make(chan struct{})
+	m.drainDone = make(chan struct{})
+	c.drainers.Add(1)
+	go c.drainUpdates(m, m.node, m.drainStop, m.drainDone)
 }
 
 // drainUpdates consumes a node's update channel into the member's
 // observed map, so the update-delivery invariant can ask "what is the
 // last address this slot was told about key K?".
-func drainUpdates(m *member, nd *live.Node, stop <-chan struct{}, done chan<- struct{}) {
-	defer close(done)
+func (c *Cluster) drainUpdates(m *member, nd *live.Node, stop <-chan struct{}, done chan<- struct{}) {
+	defer func() {
+		close(done)
+		c.drainers.Add(-1)
+	}()
 	for {
 		select {
 		case <-stop:
@@ -270,6 +430,10 @@ func drainUpdates(m *member, nd *live.Node, stop <-chan struct{}, done chan<- st
 		}
 	}
 }
+
+// ActiveDrainers returns the number of live drainUpdates goroutines —
+// the exact book the tightened goroutine-leak invariant balances.
+func (c *Cluster) ActiveDrainers() int { return int(c.drainers.Load()) }
 
 // startMaintenance launches background maintenance on m, re-seeding its
 // PRNG deterministically from the cluster seed and the member name.
@@ -283,13 +447,15 @@ func (c *Cluster) startMaintenance(m *member) {
 	m.mu.Unlock()
 }
 
-// gossipUntilFull runs anti-entropy rounds until every live node knows
-// every live node, bounded at 16 rounds.
+// gossipUntilFull runs anti-entropy rounds until every ring member knows
+// every ring member, bounded at 16 rounds. Fabric observers are not ring
+// members and take no part.
 func (c *Cluster) gossipUntilFull() error {
-	want := len(c.names)
+	ring := c.ringNames()
+	want := len(ring)
 	for round := 0; round < 16; round++ {
 		full := true
-		for _, name := range c.names {
+		for _, name := range ring {
 			m := c.members[name]
 			if _, err := m.node.GossipOnce(c.rng); err != nil {
 				return fmt.Errorf("harness: bootstrap gossip %s: %w", name, err)
@@ -369,9 +535,17 @@ func (c *Cluster) Addr(name string) string {
 	return nd.Addr()
 }
 
-// Key returns name's ring key (stable across crash/restart/move).
+// Key returns name's ring key (stable across crash/restart/move). Under
+// Config.Verified this is the member's self-certifying identity key, not
+// a name hash, so it is read from the slot rather than recomputed.
 func (c *Cluster) Key(name string) hashkey.Key {
-	return hashkey.FromName(name)
+	m := c.members[name]
+	if m == nil {
+		return hashkey.FromName(name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.key
 }
 
 // Names returns every member name in configured order.
@@ -510,6 +684,88 @@ func (c *Cluster) Publish(name string) error {
 	return nil
 }
 
+// PublishAll publishes every live mobile member concurrently,
+// BootWorkers wide — the production-scale prologue (10k sequential
+// publishes would serialize ~10k RPC round trips). Failures are
+// tolerated per member and the first one is returned after the sweep;
+// under a fault profile the resolvability invariant is the real arbiter.
+func (c *Cluster) PublishAll() error {
+	var names []string
+	for _, name := range c.names {
+		m := c.members[name]
+		if !m.mobile {
+			continue
+		}
+		if _, alive := m.current(); alive {
+			names = append(names, name)
+		}
+	}
+	work := make(chan string)
+	errs := make(chan error, len(names))
+	var wg sync.WaitGroup
+	workers := c.cfg.BootWorkers
+	if workers > len(names) {
+		workers = len(names)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range work {
+				if err := c.Publish(name); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for _, name := range names {
+		work <- name
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// samplePairs deterministically samples up to budget of the n×m index
+// pairs (i < n outer, j < m inner), seeded from the cluster seed and a
+// per-checker label so different checkers draw different pairs but every
+// replay of one seed draws the same ones. budget <= 0, or a budget
+// covering everything, yields the exhaustive enumeration.
+func (c *Cluster) samplePairs(label string, n, m, budget int) [][2]int {
+	total := n * m
+	if total == 0 {
+		return nil
+	}
+	if budget <= 0 || budget >= total {
+		out := make([][2]int, 0, total)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				out = append(out, [2]int{i, j})
+			}
+		}
+		return out
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|check|%s", c.cfg.Seed, label)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	seen := make(map[int]bool, budget)
+	out := make([][2]int, 0, budget)
+	for len(out) < budget {
+		p := rng.Intn(total)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, [2]int{p / m, p % m})
+	}
+	return out
+}
+
+// CheckBudget exposes the configured invariant sampling budget (0 =
+// exhaustive) to checkers.
+func (c *Cluster) CheckBudget() int { return c.cfg.CheckBudget }
+
 // OwnKeys adds resource keys to name's owned set: from the next Publish
 // or Move on, the node's batched publish carries one record per owned
 // key alongside its own, all bound to its current address. Ownership is
@@ -575,12 +831,15 @@ func (c *Cluster) Crash(name string) error {
 	stopMaint := m.stopMaint
 	m.stopMaint = nil
 	drainStop, drainDone := m.drainStop, m.drainDone
+	m.drainStop, m.drainDone = nil, nil
 	m.mu.Unlock()
 	if stopMaint != nil {
 		stopMaint()
 	}
-	close(drainStop)
-	<-drainDone
+	if drainStop != nil {
+		close(drainStop)
+		<-drainDone
+	}
 	if err := nd.Close(); err != nil {
 		return fmt.Errorf("harness: crash %s: %w", name, err)
 	}
@@ -605,11 +864,25 @@ func (c *Cluster) Restart(name string) error {
 	wasPublished := m.published
 	m.mu.Unlock()
 
+	// Fabric observers rejoin through a live stationary seed directly (no
+	// scan over 10k mobiles) and never gossip — gossip would hand the
+	// observer's own entry to a ring member and ingest it into the COW
+	// membership the observer mode exists to stay out of.
+	observer := c.cfg.Fabric && m.mobile
 	var bootstrap string
-	for _, other := range c.LiveNames() {
-		if other != name {
-			bootstrap = c.Addr(other)
-			break
+	if observer {
+		for _, other := range c.cfg.Stationary {
+			if other != name && c.Alive(other) {
+				bootstrap = c.Addr(other)
+				break
+			}
+		}
+	} else {
+		for _, other := range c.LiveNames() {
+			if other != name {
+				bootstrap = c.Addr(other)
+				break
+			}
 		}
 	}
 	if bootstrap == "" {
@@ -622,9 +895,11 @@ func (c *Cluster) Restart(name string) error {
 	if err := nd.JoinViaContext(c.opCtxDo(), bootstrap); err != nil {
 		return fmt.Errorf("harness: restart %s: rejoin: %w", name, err)
 	}
-	for i := 0; i < 3; i++ {
-		if _, err := nd.GossipOnce(c.rng); err != nil {
-			c.logf("restart %s: gossip round %d: %v", name, i, err)
+	if !observer {
+		for i := 0; i < 3; i++ {
+			if _, err := nd.GossipOnce(c.rng); err != nil {
+				c.logf("restart %s: gossip round %d: %v", name, i, err)
+			}
 		}
 	}
 	if wasPublished {
@@ -684,6 +959,15 @@ func (c *Cluster) Register(watcher, target string) error {
 	if err := wn.RegisterWithContext(c.opCtxDo(), tn.Addr()); err != nil {
 		return fmt.Errorf("harness: register %s→%s: %w", watcher, target, err)
 	}
+	// A registrant is about to be pushed updates: attach the lazy drainer
+	// now (idempotent) and remember the role so Restart revives it. The
+	// updates channel buffers, so a push landing before the drainer runs
+	// is not lost.
+	wm := c.members[watcher]
+	wm.mu.Lock()
+	wm.watcher = true
+	wm.mu.Unlock()
+	c.ensureDrainer(wm)
 	c.mu.Lock()
 	set, ok := c.watchers[target]
 	if !ok {
@@ -704,10 +988,16 @@ func (c *Cluster) Resolve(from, target string) (string, error) {
 	return fn.ResolveContext(c.opCtxDo(), c.Key(target))
 }
 
-// Gossip runs anti-entropy rounds across every live node.
+// Gossip runs anti-entropy rounds across every live ring member. Fabric
+// observers are excluded: a gossip exchange sends the sender's own entry,
+// which would ingest the observer into the COW membership views the
+// observer mode exists to stay out of.
 func (c *Cluster) Gossip(rounds int) error {
 	for i := 0; i < rounds; i++ {
-		for _, name := range c.LiveNames() {
+		for _, name := range c.ringNames() {
+			if !c.Alive(name) {
+				continue
+			}
 			if _, err := c.Node(name).GossipOnce(c.rng); err != nil {
 				c.logf("gossip %s: %v", name, err)
 			}

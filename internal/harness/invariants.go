@@ -93,20 +93,26 @@ func (r *Resolvability) AtQuiescence(c *Cluster) error {
 	if deadline <= 0 {
 		deadline = 20 * time.Second
 	}
-	for _, target := range c.LiveNames() {
-		if !c.Published(target) {
+	live := c.LiveNames()
+	targets := make([]string, 0, len(live))
+	for _, target := range live {
+		if c.Published(target) {
+			targets = append(targets, target)
+		}
+	}
+	// Event-budgeted: at production scale the full (target, resolver)
+	// product is O(cluster²); the budget samples it deterministically from
+	// the cluster seed (0 = exhaustive).
+	for _, p := range c.samplePairs("resolvability", len(targets), len(live), c.CheckBudget()) {
+		target, from := targets[p[0]], live[p[1]]
+		if from == target {
 			continue
 		}
-		for _, from := range c.LiveNames() {
-			if from == target {
-				continue
-			}
-			err := Eventually(deadline, func() error {
-				return resolveOnce(c, from, target, true)
-			})
-			if err != nil {
-				return err
-			}
+		err := Eventually(deadline, func() error {
+			return resolveOnce(c, from, target, true)
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -135,35 +141,39 @@ func (u *UpdateDelivery) AtQuiescence(c *Cluster) error {
 	if deadline <= 0 {
 		deadline = 20 * time.Second
 	}
+	type pair struct{ target, watcher string }
+	var pairs []pair
 	for _, target := range c.LiveNames() {
 		if c.Moves(target) == 0 {
 			continue
 		}
 		for _, watcher := range c.Watchers(target) {
-			if !c.Alive(watcher) {
-				continue
+			if c.Alive(watcher) {
+				pairs = append(pairs, pair{target, watcher})
 			}
-			watcher := watcher
-			err := Eventually(deadline, func() error {
-				final := c.Addr(target)
-				if got := c.Observed(watcher, target); got == final {
-					return nil
-				}
-				if err := c.Register(watcher, target); err != nil {
-					return err
-				}
-				if err := c.Node(target).UpdateRegistryContext(c.opCtxDo()); err != nil {
-					return err
-				}
-				time.Sleep(50 * time.Millisecond)
-				if got := c.Observed(watcher, target); got != final {
-					return fmt.Errorf("watcher %s observed %q for %s, want %q", watcher, got, target, final)
-				}
+		}
+	}
+	for _, idx := range c.samplePairs("update-delivery", len(pairs), 1, c.CheckBudget()) {
+		target, watcher := pairs[idx[0]].target, pairs[idx[0]].watcher
+		err := Eventually(deadline, func() error {
+			final := c.Addr(target)
+			if got := c.Observed(watcher, target); got == final {
 				return nil
-			})
-			if err != nil {
-				return fmt.Errorf("update delivery %s→%s: %w", target, watcher, err)
 			}
+			if err := c.Register(watcher, target); err != nil {
+				return err
+			}
+			if err := c.Node(target).UpdateRegistryContext(c.opCtxDo()); err != nil {
+				return err
+			}
+			time.Sleep(50 * time.Millisecond)
+			if got := c.Observed(watcher, target); got != final {
+				return fmt.Errorf("watcher %s observed %q for %s, want %q", watcher, got, target, final)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("update delivery %s→%s: %w", target, watcher, err)
 		}
 	}
 	return nil
@@ -261,24 +271,31 @@ func (r *NoResurrection) probe(c *Cluster) error {
 	if r.seen == nil {
 		r.seen = make(map[string]int)
 	}
+	var targets []string
 	for _, target := range c.Names() {
-		if !c.Mobile(target) || !c.Published(target) {
+		if c.Mobile(target) && c.Published(target) {
+			targets = append(targets, target)
+		}
+	}
+	live := c.LiveNames()
+	// Event-budgeted: the probe runs after every step, so the full
+	// (target, observer) product would make each step O(cluster²). The
+	// seed-deterministic sample keeps the per-point monotone records
+	// meaningful across steps.
+	for _, p := range c.samplePairs("no-resurrection", len(targets), len(live), c.CheckBudget()) {
+		target, from := targets[p[0]], live[p[1]]
+		if from == target {
 			continue
 		}
 		key := c.Key(target)
-		for _, from := range c.LiveNames() {
-			if from == target {
-				continue
+		if addr, ok := c.Node(from).CachedAddr(key); ok {
+			if err := r.observe(c, "cache "+from, target, key, addr); err != nil {
+				return err
 			}
-			if addr, ok := c.Node(from).CachedAddr(key); ok {
-				if err := r.observe(c, "cache "+from, target, key, addr); err != nil {
-					return err
-				}
-			}
-			if addr := c.Observed(from, target); addr != "" {
-				if err := r.observe(c, "push "+from, target, key, addr); err != nil {
-					return err
-				}
+		}
+		if addr := c.Observed(from, target); addr != "" {
+			if err := r.observe(c, "push "+from, target, key, addr); err != nil {
+				return err
 			}
 		}
 	}
@@ -302,9 +319,15 @@ func (r *NoResurrection) observe(c *Cluster, point, target string, key hashkey.K
 	return nil
 }
 
-// NoLeaks asserts the cluster shut down without stranding goroutines:
-// after every node closes, the process goroutine count must return to
-// the pre-cluster baseline (±slack for runtime helpers).
+// NoLeaks asserts the cluster shut down without stranding goroutines,
+// with two books balanced in order of strictness:
+//
+//  1. Exactly zero update drainers remain. The harness counts every
+//     drainUpdates start and exit, so this check has no slack at all —
+//     it is what catches a drainer leaked by a crash/restart race, which
+//     the ±slack process-count check below could hide.
+//  2. The process goroutine count returns to the pre-cluster baseline
+//     (±slack for runtime helpers).
 type NoLeaks struct {
 	NopChecker
 	// Settle bounds how long to wait for stragglers (detached flights
@@ -318,6 +341,9 @@ func (l *NoLeaks) AfterShutdown(c *Cluster) error {
 	settle := l.Settle
 	if settle <= 0 {
 		settle = 10 * time.Second
+	}
+	if n := c.ActiveDrainers(); n != 0 {
+		return fmt.Errorf("%d update drainers alive after shutdown, want exactly 0", n)
 	}
 	err := Eventually(settle, func() error {
 		if n := runtime.NumGoroutine(); n > c.baseGoroutines+goroutineSlack {

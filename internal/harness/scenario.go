@@ -25,6 +25,14 @@ type Publish struct{ Node string }
 func (o Publish) Apply(c *Cluster) error { return c.Publish(o.Node) }
 func (o Publish) String() string         { return "publish " + o.Node }
 
+// PublishAll pushes every live mobile node's location concurrently —
+// the bulk prologue for large-fabric scenarios, where one Publish op
+// per node would dominate the schedule.
+type PublishAll struct{}
+
+func (PublishAll) Apply(c *Cluster) error { return c.PublishAll() }
+func (PublishAll) String() string         { return "publish-all" }
+
 // Move rebinds a mobile node to a fresh attachment point.
 type Move struct{ Node string }
 

@@ -196,6 +196,40 @@ func sortedKeys(m map[string]bool) []string {
 	return out
 }
 
+// FabricCluster is the production-shaped topology: a stationary ring
+// core of nStationary members (s1…) and a fleet of nMobile verified
+// observer mobiles (m1…) booted fabric-style — concurrent observer
+// admission, no per-mobile gossip or membership ingestion — so cluster
+// cost scales O(core² + fleet), not O(members²).
+func FabricCluster(seed int64, nStationary, nMobile int) Config {
+	cfg := Config{
+		Seed:        seed,
+		Stationary:  make([]string, nStationary),
+		Mobile:      make([]string, nMobile),
+		Replication: 3,
+		Fabric:      true,
+	}
+	for i := range cfg.Stationary {
+		cfg.Stationary[i] = fmt.Sprintf("s%d", i+1)
+	}
+	for i := range cfg.Mobile {
+		cfg.Mobile[i] = fmt.Sprintf("m%d", i+1)
+	}
+	return cfg
+}
+
+// Soak10kCluster is the nightly 10k-member soak topology: a 64-node
+// stationary core fronting a 9936-mobile observer fleet, verified
+// admission everywhere, and event-budgeted invariant checking (the
+// exhaustive pair products would be ~10⁸ probes). No fault injection:
+// at this scale the churn schedule itself is the chaos, and a clean
+// transport keeps the run deterministic enough to replay by seed.
+func Soak10kCluster(seed int64) Config {
+	cfg := FabricCluster(seed, 64, 9936)
+	cfg.CheckBudget = 256
+	return cfg
+}
+
 // SoakCluster is the standard soak topology: six stationary, three
 // mobile, 2s leases, triple replication, background maintenance, and a
 // lossy, slow network.

@@ -1,0 +1,89 @@
+package hashkey
+
+// Self-certifying node identities ("Robust Node ID Assignment for Mobile
+// P2P Networks"): a node's ring key is derived from its public key, so
+// possession of the matching private key is the only way to occupy that
+// key. A joining node proves its claim by signing a join statement; any
+// verifier recomputes the key from the public key alone and rejects a
+// claim it does not hash to. This turns the clustered naming scheme's
+// stationary/mobile split into an enforced boundary: a mobile (or buggy,
+// or adversarial) client cannot squat an arbitrary stationary-arc or
+// region-striped key, because it cannot choose its key at all — only
+// grind keypairs, which buys it a uniformly random position per attempt.
+//
+// The scheme deliberately stops at self-certification. It does not rate-
+// limit keypair grinding (the papers' CA/puzzle escalations) and it does
+// not attest that a node is physically in the region it claims — the
+// region label only selects which stripe family the key falls in, and is
+// bound into the derivation so a claimed region cannot be combined with
+// a key earned under another.
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Identity is an ed25519 keypair standing in for a node's long-lived
+// cryptographic identity.
+type Identity struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewIdentity generates a fresh random identity.
+func NewIdentity() (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Identity{pub: pub, priv: priv}, nil
+}
+
+// IdentityFromSeed derives a deterministic identity from arbitrary seed
+// bytes (hashed to the ed25519 seed size). Same seed, same identity —
+// the form the deterministic test harness uses; production nodes should
+// use NewIdentity and persist it.
+func IdentityFromSeed(seed []byte) *Identity {
+	h := sha256.Sum256(seed)
+	priv := ed25519.NewKeyFromSeed(h[:])
+	return &Identity{pub: priv.Public().(ed25519.PublicKey), priv: priv}
+}
+
+// Public returns the identity's public key bytes.
+func (id *Identity) Public() []byte { return []byte(id.pub) }
+
+// Sign signs msg with the identity's private key.
+func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.priv, msg) }
+
+// VerifySig reports whether sig is a valid signature of msg under pub.
+// Malformed public keys or signatures simply fail verification.
+func VerifySig(pub, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), msg, sig)
+}
+
+// IdentityName is the canonical name form of a public key — the string
+// that feeds the ring hash, so key derivation and verification agree on
+// one encoding.
+func IdentityName(pub []byte) string {
+	return "ed25519:" + hex.EncodeToString(pub)
+}
+
+// IDKey derives the self-certifying ring key for a public key. A node
+// claiming a region (a stationary node under region-striped placement,
+// with the deployment's full region set) lands in that region's stripes
+// via RegionStriped; anything else hashes the identity name directly.
+// The derivation is a pure function of (pub, region, regions), so any
+// node holding the same deployment region set recomputes — and thereby
+// verifies — another node's key from its public key alone.
+func IDKey(pub []byte, region string, regions []string) Key {
+	name := IdentityName(pub)
+	if region != "" && len(regions) > 0 {
+		return RegionStriped(FullRing(), name, region, regions)
+	}
+	return FromName(name)
+}

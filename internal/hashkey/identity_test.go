@@ -1,0 +1,92 @@
+package hashkey
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIdentityFromSeedDeterministic(t *testing.T) {
+	a := IdentityFromSeed([]byte("node-7"))
+	b := IdentityFromSeed([]byte("node-7"))
+	if !bytes.Equal(a.Public(), b.Public()) {
+		t.Fatalf("same seed produced different public keys")
+	}
+	c := IdentityFromSeed([]byte("node-8"))
+	if bytes.Equal(a.Public(), c.Public()) {
+		t.Fatalf("distinct seeds produced the same public key")
+	}
+}
+
+func TestIdentitySignVerify(t *testing.T) {
+	id := IdentityFromSeed([]byte("signer"))
+	msg := []byte("join statement")
+	sig := id.Sign(msg)
+	if !VerifySig(id.Public(), msg, sig) {
+		t.Fatalf("valid signature failed verification")
+	}
+	if VerifySig(id.Public(), []byte("other statement"), sig) {
+		t.Fatalf("signature verified over a different message")
+	}
+	other := IdentityFromSeed([]byte("impostor"))
+	if VerifySig(other.Public(), msg, sig) {
+		t.Fatalf("signature verified under the wrong public key")
+	}
+	// Malformed inputs must fail cleanly, not panic.
+	if VerifySig(nil, msg, sig) || VerifySig(id.Public(), msg, nil) || VerifySig(id.Public()[:5], msg, sig[:5]) {
+		t.Fatalf("malformed key/signature verified")
+	}
+}
+
+func TestNewIdentityRandom(t *testing.T) {
+	a, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Public(), b.Public()) {
+		t.Fatalf("two random identities share a public key")
+	}
+	msg := []byte("m")
+	if !VerifySig(a.Public(), msg, a.Sign(msg)) {
+		t.Fatalf("random identity signature failed verification")
+	}
+}
+
+func TestIDKeyDerivation(t *testing.T) {
+	regions := []string{"us-east", "us-west", "eu"}
+	id := IdentityFromSeed([]byte("stationary-node"))
+	pub := id.Public()
+
+	// Mobile form (no region): plain hash of the identity name.
+	mobile := IDKey(pub, "", nil)
+	if want := FromName(IdentityName(pub)); mobile != want {
+		t.Fatalf("mobile IDKey = %v, want %v", mobile, want)
+	}
+
+	// Stationary form: region-striped over the full ring, and a pure
+	// function of (pub, region, regions).
+	k1 := IDKey(pub, "eu", regions)
+	k2 := IDKey(pub, "eu", regions)
+	if k1 != k2 {
+		t.Fatalf("IDKey not deterministic: %v vs %v", k1, k2)
+	}
+	if want := RegionStriped(FullRing(), IdentityName(pub), "eu", regions); k1 != want {
+		t.Fatalf("stationary IDKey = %v, want %v", k1, want)
+	}
+	if got := RegionIndex(FullRing(), k1, len(regions)); got != 0 { // "eu" sorts first
+		t.Fatalf("stationary IDKey landed in region index %d, want 0", got)
+	}
+
+	// A different region claim yields a different key: a key earned under
+	// one region cannot be presented with another.
+	if k1 == IDKey(pub, "us-west", regions) {
+		t.Fatalf("same key derived for two different region claims")
+	}
+	// And a different identity cannot land on the same key.
+	if k1 == IDKey(IdentityFromSeed([]byte("other")).Public(), "eu", regions) {
+		t.Fatalf("two identities derived the same stationary key")
+	}
+}

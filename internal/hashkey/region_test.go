@@ -80,6 +80,88 @@ func TestRegionIndexRotatesSegments(t *testing.T) {
 	}
 }
 
+// TestRegionStripedAllStripesRoundTrip drives names until every one of
+// the 256 stripe repetitions has hosted a key for every region, and
+// asserts the round trip holds in each: stripe position must never
+// perturb which region a key decodes to.
+func TestRegionStripedAllStripesRoundTrip(t *testing.T) {
+	regions := []string{"east", "west"}
+	sorted := append([]string(nil), regions...)
+	sort.Strings(sorted)
+	arc := StationaryArc(0.6)
+	segLen := arc.Width() / (uint64(len(regions)) * regionStripes)
+	covered := make(map[uint64]bool, regionStripes)
+	for i := 0; len(covered) < regionStripes; i++ {
+		if i > 100*regionStripes {
+			t.Fatalf("only %d/%d stripes covered after %d names", len(covered), regionStripes, i)
+		}
+		name := fmt.Sprintf("node-%d", i)
+		for _, region := range regions {
+			k := RegionStriped(arc, name, region, regions)
+			if !arc.Contains(k) {
+				t.Fatalf("%s@%s: key %v outside arc", name, region, k)
+			}
+			if got := RegionIndex(arc, k, len(regions)); got < 0 || sorted[got] != region {
+				t.Fatalf("%s@%s: RegionIndex = %d, want index of %s", name, region, got, region)
+			}
+		}
+		stripe := (uint64(FromName(fmt.Sprintf("node-%d", i))) >> 32) % regionStripes
+		covered[stripe] = true
+		// Both endpoints of this stripe's segment for region 0 must decode
+		// back to region 0: off ∈ [0, segLen) never crosses a boundary.
+		lo := arc.Lo + Key(stripe*uint64(len(regions))*segLen)
+		if got := RegionIndex(arc, lo, len(regions)); got != 0 {
+			t.Fatalf("stripe %d segment start: RegionIndex = %d, want 0", stripe, got)
+		}
+		if got := RegionIndex(arc, lo+Key(segLen-1), len(regions)); got != 0 {
+			t.Fatalf("stripe %d segment end: RegionIndex = %d, want 0", stripe, got)
+		}
+	}
+}
+
+// TestRegionStripedMobileKeys pins how mobile keys interact with the
+// striped stationary arc: a mobile key (plain FromName, no region) that
+// falls outside the arc decodes to no region, so replica selection never
+// mistakes a mobile node for a regional stationary one.
+func TestRegionStripedMobileKeys(t *testing.T) {
+	arc := StationaryArc(0.5)
+	regions := []string{"east", "west", "south"}
+	found := false
+	for i := 0; i < 64; i++ {
+		k := FromName(fmt.Sprintf("mobile-%d", i))
+		if arc.Contains(k) {
+			continue // a mobile hash can land inside the arc; skip those
+		}
+		found = true
+		if got := RegionIndex(arc, k, len(regions)); got != -1 {
+			t.Fatalf("mobile key %v outside arc decoded to region %d, want -1", k, got)
+		}
+	}
+	if !found {
+		t.Fatalf("no mobile key landed outside a half-ring arc in 64 tries")
+	}
+}
+
+// TestRegionStripedSingleRegion: with one region the placement still
+// stripes (idx 0 everywhere) but RegionIndex reports -1 — region
+// diversity is meaningless on a single-region ring, and callers treat
+// -1 as "no region structure".
+func TestRegionStripedSingleRegion(t *testing.T) {
+	arc := FullRing()
+	one := []string{"only"}
+	k := RegionStriped(arc, "n", "only", one)
+	if k == FromName("n") {
+		t.Fatalf("single-region ring fell back to the plain hash")
+	}
+	a := RegionStriped(arc, "n", "only", one)
+	if a != k {
+		t.Fatalf("single-region placement not deterministic")
+	}
+	if got := RegionIndex(arc, k, 1); got != -1 {
+		t.Fatalf("single-region RegionIndex = %d, want -1", got)
+	}
+}
+
 func TestRegionIndexUnknown(t *testing.T) {
 	if got := RegionIndex(FullRing(), 42, 1); got != -1 {
 		t.Fatalf("single region: RegionIndex = %d, want -1", got)

@@ -52,9 +52,14 @@ func (n *Node) JoinVia(bootstrapAddr string) error {
 }
 
 // JoinViaContext contacts a bootstrap node, announces this node, and
-// adopts the returned membership.
+// adopts the returned membership. With an Identity configured the join
+// carries a signed proof of the node's self-certifying key (join.go);
+// with JoinAsObserver it requests the stationary directory without being
+// ingested into the bootstrap's ring membership.
 func (n *Node) JoinViaContext(ctx context.Context, bootstrapAddr string) error {
-	resp, err := n.request(ctx, bootstrapAddr, &wire.Message{Type: wire.TJoin, Self: n.SelfEntry()})
+	req := &wire.Message{Type: wire.TJoin, Self: n.SelfEntry(), Observer: n.cfg.JoinAsObserver}
+	n.joinProof(req)
+	resp, err := n.request(ctx, bootstrapAddr, req)
 	if err != nil {
 		return fmt.Errorf("live: join via %s: %w", bootstrapAddr, err)
 	}

@@ -174,14 +174,6 @@ func (t *registryTable) sweep(now time.Time) int {
 
 func (t *registryTable) size() int { return len(t.view.Load().byKey) }
 
-func (n *Node) handleJoin(m *wire.Message) *wire.Message {
-	n.members.update(m.Self)
-	if n.cfg.Logger != nil {
-		n.logf("join from %v (%s)", m.Self.Key, m.Self.Addr)
-	}
-	return &wire.Message{Type: wire.TJoinResp, Seq: m.Seq, Found: true, Entries: n.KnownPeers()}
-}
-
 func (n *Node) handleLeafExchange(m *wire.Message) *wire.Message {
 	for _, e := range m.Entries {
 		n.members.merge(n.key, e)

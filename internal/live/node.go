@@ -62,8 +62,25 @@ type Update struct {
 // that want to build the whole policy in one literal.
 type Config struct {
 	// Name seeds the node's hash key (FromName), standing in for a stable
-	// node identity independent of its network address.
+	// node identity independent of its network address. When Identity is
+	// set the key derives from the public key instead and Name is only a
+	// diagnostic label.
 	Name string
+	// Identity is the node's cryptographic identity. When set, the node's
+	// hash key is self-certifying — hashkey.IDKey(pub, region, regions) —
+	// and joins carry a signed proof of the claim, so verifying peers can
+	// reject a node squatting a key it didn't earn. Nil keeps the legacy
+	// name-derived key and sends unsigned joins.
+	Identity *hashkey.Identity
+	// RequireVerifiedJoins makes this node reject TJoin requests that carry
+	// no identity proof. (Joins that carry a proof are always verified,
+	// with or without this flag.)
+	RequireVerifiedJoins bool
+	// JoinAsObserver makes this node's joins request the stationary
+	// directory without being ingested into ring membership — the scalable
+	// admission mode for client/mobile nodes, which stationary peers learn
+	// about through publish traffic instead of join-time gossip.
+	JoinAsObserver bool
 	// Capacity is the advertised C_X used to schedule LDTs.
 	Capacity float64
 	// Mobile marks the node as relocatable (Rebind allowed).
@@ -263,6 +280,13 @@ type Node struct {
 	store    recordStore   // sharded repository of published records
 	seen     epochTable    // sharded newest-ingested TUpdate epochs
 
+	// ids binds each verified joiner's key to a fingerprint of the public
+	// identity that earned it (join.go): a later join may re-present the
+	// same identity, never a different one, and an unsigned join can never
+	// claim a verified key.
+	idsMu sync.Mutex
+	ids   map[hashkey.Key][32]byte
+
 	// owned is the set of resource keys published at this node's address
 	// beyond its own identity key — the records a move must re-home. All
 	// of them ride one TPublishBatch per owner replica.
@@ -300,12 +324,20 @@ type Node struct {
 // options.go is the preferred constructor.)
 func NewNode(cfg Config, tr transport.Transport) *Node {
 	cfg = cfg.withDefaults()
-	key := hashkey.FromName(cfg.Name)
-	if !cfg.Mobile && cfg.Region != "" && len(cfg.Regions) > 0 {
+	var key hashkey.Key
+	switch {
+	case cfg.Identity != nil:
+		// Self-certifying key: derived from the public identity (region-
+		// striped for regional stationary nodes), so the join proof any
+		// peer verifies recomputes exactly this value.
+		key = hashkey.IDKey(cfg.Identity.Public(), stationaryRegion(cfg), cfg.Regions)
+	case !cfg.Mobile && cfg.Region != "" && len(cfg.Regions) > 0:
 		// Region-clustered stationary placement: the key lands in one of
 		// this region's ring stripes, so consecutive stationary keys — and
 		// therefore any record's k-closest replica set — interleave regions.
 		key = hashkey.RegionStriped(hashkey.FullRing(), cfg.Name, cfg.Region, cfg.Regions)
+	default:
+		key = hashkey.FromName(cfg.Name)
 	}
 	n := &Node{
 		cfg:     cfg,
@@ -314,6 +346,7 @@ func NewNode(cfg Config, tr transport.Transport) *Node {
 		rng:     rand.New(rand.NewSource(int64(key))), // deterministic per-node jitter
 		updates: make(chan Update, 64),
 		owned:   make(map[hashkey.Key]struct{}),
+		ids:     make(map[hashkey.Key][32]byte),
 		updq:    newUpdateQueue(),
 	}
 	// The epoch is seeded from the wall clock so a restarted node (fresh

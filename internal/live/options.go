@@ -12,6 +12,7 @@ import (
 	"log"
 	"time"
 
+	"bristle/internal/hashkey"
 	"bristle/internal/metrics"
 	"bristle/internal/transport"
 )
@@ -35,6 +36,27 @@ func WithRegion(region string, regions ...string) Option {
 		cfg.Region = region
 		cfg.Regions = regions
 	}
+}
+
+// WithIdentity gives the node a cryptographic identity: its hash key
+// becomes self-certifying (hashkey.IDKey over the public key, region-
+// striped for regional stationary nodes) and its joins carry a signed
+// proof of that claim.
+func WithIdentity(id *hashkey.Identity) Option {
+	return func(cfg *Config) { cfg.Identity = id }
+}
+
+// WithVerifiedJoins makes the node reject join requests that carry no
+// identity proof. Joins that carry one are always verified.
+func WithVerifiedJoins() Option {
+	return func(cfg *Config) { cfg.RequireVerifiedJoins = true }
+}
+
+// WithObserverJoin makes the node's joins request the stationary
+// directory without being ingested into ring membership — the scalable
+// admission mode for client/mobile nodes.
+func WithObserverJoin() Option {
+	return func(cfg *Config) { cfg.JoinAsObserver = true }
 }
 
 // WithLease bounds how long published locations and caches stay valid.

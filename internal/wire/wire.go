@@ -24,9 +24,11 @@ const (
 	// Magic marks every frame; receivers drop streams with wrong magic.
 	Magic uint16 = 0xB215
 	// Version is the protocol revision. Revision 2 added the per-publisher
-	// Epoch to Entry (and the TPublishBatch message); the framing of every
-	// entry changed, so v1 peers are rejected rather than misparsed.
-	Version uint8 = 2
+	// Epoch to Entry (and the TPublishBatch message); revision 3 added the
+	// join-proof fields (Pub, Sig, Region) and the Observer flag to every
+	// message body. Each changed the framing, so older peers are rejected
+	// rather than misparsed.
+	Version uint8 = 3
 	// MaxFrame bounds a frame's payload to keep malicious peers from
 	// forcing huge allocations.
 	MaxFrame = 1 << 20
@@ -138,6 +140,18 @@ type Message struct {
 	Entries []Entry
 	// Seq correlates requests and responses on a shared connection.
 	Seq uint32
+	// Pub is the sender's public identity key and Sig its signature over
+	// the canonical join statement — the self-certifying ID proof carried
+	// on TJoin. Region is the region the sender claims its key was derived
+	// under (empty for mobile nodes). All three are empty on messages that
+	// carry no proof.
+	Pub    []byte
+	Sig    []byte
+	Region string
+	// Observer marks a join that wants the stationary directory without
+	// being ingested into ring membership — the scalable client/mobile
+	// admission mode.
+	Observer bool
 }
 
 // headerSize is the fixed frame preamble: magic (2), version (1),
@@ -227,9 +241,21 @@ func AppendFrame(dst []byte, m *Message) ([]byte, error) {
 	if m.Found {
 		flags |= 1
 	}
+	if m.Observer {
+		flags |= 2
+	}
 	dst = append(dst, flags)
 	var err error
 	if dst, err = appendEntry(dst, m.Self); err != nil {
+		return nil, err
+	}
+	if dst, err = appendBytes(dst, m.Pub, "public key"); err != nil {
+		return nil, err
+	}
+	if dst, err = appendBytes(dst, m.Sig, "signature"); err != nil {
+		return nil, err
+	}
+	if dst, err = appendBytes(dst, []byte(m.Region), "region"); err != nil {
 		return nil, err
 	}
 	if len(m.Entries) > 65535 {
@@ -299,12 +325,34 @@ func decodeBody(m *Message, mtype MsgType, p []byte) error {
 	m.Key = hashkey.Key(binary.BigEndian.Uint64(p))
 	m.Seq = binary.BigEndian.Uint32(p[8:])
 	m.Found = p[12]&1 != 0
+	m.Observer = p[12]&2 != 0
 	p = p[13:]
 	e, p, err := readEntry(p, "")
 	if err != nil {
 		return err
 	}
 	m.Self = e
+	var pub, sig, region []byte
+	if pub, p, err = readBytes(p); err != nil {
+		return err
+	}
+	if sig, p, err = readBytes(p); err != nil {
+		return err
+	}
+	if region, p, err = readBytes(p); err != nil {
+		return err
+	}
+	// The payload buffer is pooled; proof fields must be copied out. The
+	// common case (no proof) copies nothing.
+	if len(pub) > 0 {
+		m.Pub = append([]byte(nil), pub...)
+	}
+	if len(sig) > 0 {
+		m.Sig = append([]byte(nil), sig...)
+	}
+	if len(region) > 0 {
+		m.Region = string(region)
+	}
 	if len(p) < 2 {
 		return ErrTruncated
 	}
@@ -328,6 +376,30 @@ func decodeBody(m *Message, mtype MsgType, p []byte) error {
 		m.Entries = append(m.Entries, e)
 	}
 	return nil
+}
+
+// appendBytes writes a 16-bit-length-prefixed byte field. Empty fields
+// cost two bytes.
+func appendBytes(dst, b []byte, what string) ([]byte, error) {
+	if len(b) > 65535 {
+		return nil, fmt.Errorf("%w: %s too long (%d bytes)", ErrEncode, what, len(b))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b)))
+	return append(dst, b...), nil
+}
+
+// readBytes reads a 16-bit-length-prefixed byte field, returning a view
+// into p (callers must copy before the buffer is recycled).
+func readBytes(p []byte) ([]byte, []byte, error) {
+	if len(p) < 2 {
+		return nil, p, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < n {
+		return nil, p, ErrTruncated
+	}
+	return p[:n], p[n:], nil
 }
 
 func appendEntry(dst []byte, e Entry) ([]byte, error) {

@@ -85,6 +85,37 @@ func TestEpochSurvivesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRoundTripJoinProof pins the v3 join-proof framing: a TJoin carrying
+// the sender's public key, signature, region claim, and observer flag
+// survives a round trip, and a proof-free message decodes with all four
+// fields empty (not zero-length slices).
+func TestRoundTripJoinProof(t *testing.T) {
+	pub := bytes.Repeat([]byte{0xAB}, 32)
+	sig := bytes.Repeat([]byte{0xCD}, 64)
+	m := &Message{
+		Type:     TJoin,
+		Self:     Entry{Key: 9, Addr: "joiner:1", Epoch: 3},
+		Pub:      pub,
+		Sig:      sig,
+		Region:   "us-east",
+		Observer: true,
+	}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("join proof round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	// Observer must ride independently of Found.
+	m.Found, m.Observer = true, false
+	got = roundTrip(t, m)
+	if !got.Found || got.Observer {
+		t.Fatalf("flags mixed up: Found=%v Observer=%v", got.Found, got.Observer)
+	}
+	plain := roundTrip(t, &Message{Type: TJoin, Self: Entry{Addr: "j:2"}})
+	if plain.Pub != nil || plain.Sig != nil || plain.Region != "" || plain.Observer {
+		t.Fatalf("proof-free message decoded proof fields: %+v", plain)
+	}
+}
+
 func TestRoundTripEmpty(t *testing.T) {
 	m := &Message{Type: TPing}
 	got := roundTrip(t, m)
@@ -133,9 +164,10 @@ func TestDecodeBadMagic(t *testing.T) {
 
 func TestDecodeBadVersion(t *testing.T) {
 	frame, _ := Encode(&Message{Type: TPing})
-	// Both an unknown future revision and the pre-epoch v1 framing must be
-	// rejected outright: a v1 entry is 8 bytes shorter and would misparse.
-	for _, v := range []byte{99, 1} {
+	// An unknown future revision and both prior framings must be rejected
+	// outright: a v1 entry is 8 bytes shorter, and a v2 body lacks the
+	// join-proof fields, so either would misparse.
+	for _, v := range []byte{99, 1, 2} {
 		frame[2] = v
 		if _, err := Decode(bytes.NewReader(frame)); err != ErrBadVersion {
 			t.Fatalf("version %d: err = %v, want ErrBadVersion", v, err)
